@@ -1,0 +1,124 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every bench regenerates one table or figure from the paper: it runs the
+relevant experiment sweep, prints the rows/series the paper reports
+(plus the paper's own headline number for comparison), and appends a
+machine-readable record to ``results/experiments.json`` which
+EXPERIMENTS.md is generated from.
+
+Scene coverage follows the active scale (``REPRO_SCALE``):
+
+* ``smoke``  — 4 small scenes (CI-speed sanity).
+* ``default`` — 10 scenes (drops the five slowest big scenes).
+* ``full``  — all 16 scenes at 32x32 rays (the paper's resolution).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro import BASELINE, Technique, run_experiment, scale_from_env, speedup
+from repro.core import ExperimentResult, Scale, format_table, geomean
+from repro.scenes import ALL_SCENES
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results"
+
+_SMOKE_SCENES = ("WKND", "SHIP", "BUNNY", "SPNZA")
+_DEFAULT_SCENES = (
+    "WKND", "SHIP", "BUNNY", "SPNZA", "REF", "CHSNT",
+    "CRNVL", "BATH", "SPRNG", "FRST",
+)
+
+
+def active_scale() -> Scale:
+    return scale_from_env()
+
+
+def bench_scenes(scale: Optional[Scale] = None) -> List[str]:
+    """The scene list a bench sweeps at the active scale."""
+    scale = scale or active_scale()
+    if scale.name == "smoke":
+        return list(_SMOKE_SCENES)
+    if scale.name == "full":
+        return list(ALL_SCENES)
+    return list(_DEFAULT_SCENES)
+
+
+def run_pair(
+    scene: str, technique: Technique, scale: Optional[Scale] = None
+):
+    """(baseline result, technique result, speedup) for one scene."""
+    scale = scale or active_scale()
+    base = run_experiment(scene, BASELINE, scale)
+    cand = run_experiment(scene, technique, scale)
+    return base, cand, speedup(base, cand)
+
+
+def sweep(
+    technique: Technique,
+    scenes: Optional[Iterable[str]] = None,
+    scale: Optional[Scale] = None,
+) -> Dict[str, ExperimentResult]:
+    scale = scale or active_scale()
+    return {
+        scene: run_experiment(scene, technique, scale)
+        for scene in (scenes or bench_scenes(scale))
+    }
+
+
+def record(experiment_id: str, payload: dict) -> None:
+    """Append one experiment's outcome to results/experiments.json."""
+    RESULTS_PATH.mkdir(exist_ok=True)
+    path = RESULTS_PATH / "experiments.json"
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    payload = dict(payload)
+    payload["scale"] = active_scale().name
+    payload["recorded_at"] = time.strftime("%Y-%m-%d %H:%M:%S")
+    data[experiment_id] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+def print_figure(
+    title: str,
+    headers: List[str],
+    rows: List[List[object]],
+    paper_note: str,
+) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("-" * 72)
+    print(format_table(headers, rows))
+    print(f"paper: {paper_note}")
+    print("=" * 72)
+
+
+def gmean_row(label: str, values: List[float]) -> List[object]:
+    return [label, *(["" for _ in range(0)]), geomean(values)]
+
+
+def shape_assertions_enabled() -> bool:
+    """Quantitative shape assertions only make sense above smoke scale.
+
+    At smoke scale the scenes are miniatures and the GPU config is tiny,
+    so per-scene anomalies (e.g. "WKND fits in cache") do not hold; the
+    smoke run only verifies the harness mechanics.
+    """
+    return active_scale().name != "smoke"
+
+
+def once(benchmark, fn: Callable[[], dict]) -> dict:
+    """Run a harness kernel exactly once under pytest-benchmark timing.
+
+    The sweeps are deterministic and expensive; a single round both
+    times the harness and produces the figure.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

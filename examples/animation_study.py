@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Frame-to-frame study: does the prefetcher help once caches are warm?
+
+Orbits the camera around a scene for several frames, replaying every
+frame through one persistent GPU model (the real-time rendering regime).
+Prints per-frame cycles for the baseline RT unit and the treelet
+prefetcher, the cold-frame vs steady-state speedups, and a sparkline of
+the per-frame costs.
+
+Run:  python examples/animation_study.py [SCENE] [FRAMES]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import BASELINE, DEFAULT, TREELET_PREFETCH
+from repro.analysis import sparkline
+from repro.core import AnimationConfig, banner, format_table, run_animation
+
+
+def main() -> None:
+    scene = sys.argv[1] if len(sys.argv) > 1 else "SPNZA"
+    frames = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    config = AnimationConfig(frames=frames, orbit_degrees_per_frame=4.0)
+    print(banner(f"Animation study — {scene}, {frames} frames"))
+
+    print("\nsimulating baseline (one persistent GPU, warm caches)...")
+    base = run_animation(scene, BASELINE, config, DEFAULT)
+    print("simulating treelet prefetching...")
+    pref = run_animation(scene, TREELET_PREFETCH, config, DEFAULT)
+
+    rows = []
+    for frame in range(frames):
+        rows.append(
+            [
+                f"frame {frame}" + (" (cold)" if frame == 0 else ""),
+                base.frame_cycles[frame],
+                pref.frame_cycles[frame],
+                round(base.frame_cycles[frame] / pref.frame_cycles[frame], 3),
+            ]
+        )
+    print()
+    print(format_table(["frame", "baseline cyc", "prefetch cyc", "speedup"],
+                       rows))
+    print(f"\nper-frame trend   baseline: {sparkline(base.frame_cycles)}")
+    print(f"                  prefetch: {sparkline(pref.frame_cycles)}")
+    print(f"\ncold-frame speedup:    "
+          f"{base.first_frame / pref.first_frame:.3f}x")
+    print(f"steady-state speedup:  "
+          f"{base.steady_state / pref.steady_state:.3f}x")
+    print(f"warmup ratio:          baseline {base.warmup_ratio:.2f}, "
+          f"prefetch {pref.warmup_ratio:.2f}")
+
+
+if __name__ == "__main__":
+    main()

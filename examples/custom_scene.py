@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Bring your own geometry: run the full pipeline on a custom scene.
+
+Shows the low-level API: build a mesh from the procedural generators (or
+your own vertex/face arrays), construct the 6-wide BVH, form treelets,
+trace rays with both traversal algorithms, and drive the timing model
+directly with a custom GPU configuration.
+
+Run:  python examples/custom_scene.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bvh import BuildConfig, build_wide_bvh, compute_tree_stats
+from repro.core import banner
+from repro.core.config import CacheConfig, GpuConfig
+from repro.geometry import Mesh, merge_meshes
+from repro.gpusim import GpuModel
+from repro.prefetch import MajorityVoter, TreeletAddressMap, TreeletPrefetcher
+from repro.scenes import Camera, RayGenConfig, generate_rays, terrain, scattered, tree
+from repro.traversal import summarize_traces, traverse_dfs_batch, traverse_two_stack_batch
+from repro.treelet import form_treelets, treelet_layout
+from repro.bvh import dfs_layout
+
+
+def build_campsite() -> Mesh:
+    """A custom scene: rolling ground, a ring of trees, and a tent."""
+    ground = terrain(n=18, size=24.0, amplitude=1.2, seed=42)
+    trees = scattered(tree(seed=7, detail=6), 30, extent=20.0, seed=8)
+    tent_vertices = np.array(
+        [
+            [-1.5, 0.0, -1.5], [1.5, 0.0, -1.5], [0.0, 2.0, -1.5],
+            [-1.5, 0.0, 1.5], [1.5, 0.0, 1.5], [0.0, 2.0, 1.5],
+        ]
+    )
+    tent_faces = np.array(
+        [[0, 1, 2], [3, 5, 4], [0, 2, 5], [0, 5, 3], [1, 4, 5], [1, 5, 2]]
+    )
+    tent = Mesh(tent_vertices, tent_faces, "tent")
+    return merge_meshes([ground, trees, tent], "campsite")
+
+
+def main() -> None:
+    print(banner("Custom scene: campsite"))
+
+    # 1. Geometry -> 6-wide BVH.
+    mesh = build_campsite()
+    bvh = build_wide_bvh(
+        mesh.triangles(),
+        config=BuildConfig(max_leaf_size=2),
+        branching_factor=3,
+        name="campsite",
+    )
+    bvh.validate()
+    stats = compute_tree_stats(bvh)
+    print(f"\nBVH: {stats.triangle_count} tris, {stats.node_count} nodes, "
+          f"depth {stats.depth}, {stats.size_mb:.2f} MB")
+
+    # 2. Treelets.
+    decomposition = form_treelets(bvh, max_bytes=512)
+    decomposition.validate()
+    print(f"Treelets: {decomposition.treelet_count} "
+          f"(mean occupancy {decomposition.occupancy():.2f})")
+
+    # 3. Rays: a frame from a custom camera.
+    camera = Camera(position=(14.0, 9.0, 14.0), look_at=(0.0, 1.0, 0.0))
+    rays = generate_rays(camera, bvh, RayGenConfig(width=16, height=16, seed=1))
+    print(f"Rays: {len(rays)} (primary + secondary + shadow)")
+
+    # 4. Functional traversal, both algorithms.
+    dfs_traces = traverse_dfs_batch([r.clone() for r in rays], bvh)
+    two_traces = traverse_two_stack_batch(
+        [r.clone() for r in rays], bvh, decomposition
+    )
+    dfs_summary = summarize_traces(dfs_traces)
+    two_summary = summarize_traces(two_traces)
+    print(f"DFS:      {dfs_summary.avg_nodes_per_ray:.1f} nodes/ray "
+          f"(max {dfs_summary.max_nodes}), {dfs_summary.hit_count} hits")
+    print(f"Two-stack: {two_summary.avg_nodes_per_ray:.1f} nodes/ray "
+          f"(max {two_summary.max_nodes}), {two_summary.hit_count} hits")
+
+    # 5. Timing model with a custom GPU (2 SMs, small caches).
+    gpu = GpuConfig(
+        n_sms=2,
+        l1=CacheConfig(size_bytes=8 * 1024, latency=20),
+        l2=CacheConfig(size_bytes=64 * 1024, associativity=16, latency=160),
+    )
+
+    baseline_model = GpuModel(gpu)
+    baseline_model.load(dfs_traces, bvh, dfs_layout(bvh))
+    baseline_stats = baseline_model.run()
+
+    layout = treelet_layout(decomposition)
+    address_map = TreeletAddressMap(decomposition, layout, gpu.l1.line_bytes)
+
+    def prefetcher_factory(_sm: int) -> TreeletPrefetcher:
+        return TreeletPrefetcher(
+            address_map,
+            voter=MajorityVoter("pseudo", latency=32),
+            warp_size=gpu.warp_size,
+            warp_buffer_size=gpu.warp_buffer_size,
+        )
+
+    prefetch_model = GpuModel(
+        gpu, scheduler_policy="pmr", prefetcher_factory=prefetcher_factory
+    )
+    prefetch_model.load(two_traces, bvh, layout)
+    prefetch_stats = prefetch_model.run()
+
+    print(f"\nBaseline RT unit:   {baseline_stats.cycles} cycles "
+          f"(avg BVH latency {baseline_stats.avg_node_demand_latency:.0f})")
+    print(f"Treelet prefetcher: {prefetch_stats.cycles} cycles "
+          f"(avg BVH latency {prefetch_stats.avg_node_demand_latency:.0f})")
+    print(f"Speedup: {baseline_stats.cycles / prefetch_stats.cycles:.3f}x "
+          f"with a realistic 32-cycle pseudo voter")
+
+
+if __name__ == "__main__":
+    main()

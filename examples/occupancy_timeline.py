@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Occupancy timeline: watch the RT units stall (and un-stall).
+
+Attaches a timeline sampler to the GPU model and plots, as sparklines,
+how many rays are issue-ready over time — the latency-bound signature
+the paper's Figure 1 argues from. With the prefetcher on, rays spend
+less time waiting on memory, so the ready-ray series sits higher and
+the run ends sooner.
+
+Run:  python examples/occupancy_timeline.py [SCENE]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import BASELINE, DEFAULT, TREELET_PREFETCH
+from repro.analysis import sparkline
+from repro.core import banner, build_gpu_model
+from repro.gpusim import TimelineSampler
+
+
+def simulate(scene: str, technique):
+    sampler = TimelineSampler(interval=200)
+    model, _, _, _ = build_gpu_model(
+        scene, technique, DEFAULT, timeline=sampler
+    )
+    stats = model.run()
+    return stats, sampler
+
+
+def main() -> None:
+    scene = sys.argv[1] if len(sys.argv) > 1 else "CHSNT"
+    print(banner(f"Occupancy timeline — {scene}"))
+
+    base_stats, base_tl = simulate(scene, BASELINE)
+    pref_stats, pref_tl = simulate(scene, TREELET_PREFETCH)
+
+    print(f"\nbaseline:  {base_stats.cycles} cycles, "
+          f"stall fraction {base_stats.stall_fraction:.2f}")
+    print(f"prefetch:  {pref_stats.cycles} cycles, "
+          f"stall fraction {pref_stats.stall_fraction:.2f}")
+    print(f"speedup:   {base_stats.cycles / pref_stats.cycles:.3f}x")
+
+    print("\nready rays over time (one sample per 200 cycles):")
+    print(f"  baseline  {sparkline(base_tl.series('ready_rays'))}")
+    print(f"  prefetch  {sparkline(pref_tl.series('ready_rays'))}")
+    print("\nresident warps over time:")
+    print(f"  baseline  {sparkline(base_tl.series('resident_warps'))}")
+    print(f"  prefetch  {sparkline(pref_tl.series('resident_warps'))}")
+    print("\nprefetch queue depth over time:")
+    print(f"  prefetch  {sparkline(pref_tl.series('prefetch_queue_depth'))}")
+    print(
+        "\nreading the charts: at almost every sampled cycle the ready-ray"
+        "\ncount is ~0 — every ray is waiting on memory (the paper's"
+        "\nlatency-bound premise, Figure 1). Prefetching doesn't raise the"
+        "\ninstantaneous occupancy; it shortens each wait, so the warp"
+        "\npopulation drains earlier (shorter sparkline above)."
+    )
+
+
+if __name__ == "__main__":
+    main()

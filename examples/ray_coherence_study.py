@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Section 2.4 motivation: ray incoherence.
+
+The paper argues that BVH memory accesses are hard to prefetch with
+classical techniques because rays — especially secondary rays — are
+incoherent. This example measures it: per ray kind (primary / shadow /
+diffuse bounce), the within-warp footprint overlap, nodes per ray, and
+treelet-boundary crossings, on any library scene.
+
+Expected shape: primary rays overlap heavily with their warp-mates;
+diffuse bounces overlap far less — exactly why stride/stream/GHB
+prefetchers fail (bench_ablation_classic_prefetchers) and per-treelet
+majority voting works.
+
+Run:  python examples/ray_coherence_study.py [SCENE]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import analyze_by_kind
+from repro.core import banner, format_table
+from repro.core.pipeline import DEFAULT, get_bvh, get_decomposition, get_rays
+from repro.traversal import traverse_dfs_batch
+
+
+def main() -> None:
+    scene = sys.argv[1] if len(sys.argv) > 1 else "FRST"
+    print(banner(f"Ray coherence study — scene {scene}"))
+
+    bvh = get_bvh(scene, DEFAULT)
+    decomposition = get_decomposition(scene, DEFAULT, 512)
+    rays = get_rays(scene, DEFAULT)
+    traces = traverse_dfs_batch([ray.clone() for ray in rays], bvh)
+
+    reports = analyze_by_kind(rays, traces, decomposition)
+    rows = []
+    for kind in ("primary", "shadow", "secondary"):
+        if kind not in reports:
+            continue
+        report = reports[kind]
+        rows.append(
+            [
+                kind,
+                report.ray_count,
+                round(report.avg_nodes_per_ray, 1),
+                round(report.avg_warp_overlap, 3),
+                round(report.avg_treelet_transitions, 1),
+            ]
+        )
+    print()
+    print(format_table(
+        ["ray kind", "rays", "nodes/ray", "warp overlap", "treelet crossings"],
+        rows,
+    ))
+    print(
+        "\nwarp overlap = mean Jaccard overlap of node footprints between"
+        "\nwarp-mates (1.0 = identical paths). The drop from primary to"
+        "\ndiffuse-bounce rays is the irregularity that defeats stride/"
+        "\nstream/GHB prefetchers (paper Section 2.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — reproduction of "Treelet Prefetching For Ray Tracing" (MICRO'23).
+
+Public API tour:
+
+* :mod:`repro.core` — `run_experiment`, `Technique`, configs, scales.
+* :mod:`repro.scenes` — the 16 procedural evaluation scenes + ray gen.
+* :mod:`repro.bvh` — SAH builder, 6-wide BVH, layouts, stats.
+* :mod:`repro.treelet` — treelet formation, repacking, mapping table.
+* :mod:`repro.traversal` — DFS and two-stack (Algorithm 1) traversal.
+* :mod:`repro.gpusim` — the trace-driven RT-unit/memory timing model.
+* :mod:`repro.prefetch` — treelet prefetcher, voter, baselines.
+* :mod:`repro.power` — activity-based power model.
+"""
+
+from .core import (
+    BASELINE,
+    DEFAULT,
+    FULL,
+    PAPER,
+    SMOKE,
+    ExperimentResult,
+    Scale,
+    TREELET_PREFETCH,
+    TREELET_TRAVERSAL_ONLY,
+    Technique,
+    default_config,
+    paper_config,
+    run_experiment,
+    scale_from_env,
+    speedup,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE",
+    "DEFAULT",
+    "ExperimentResult",
+    "FULL",
+    "SMOKE",
+    "Scale",
+    "TREELET_PREFETCH",
+    "TREELET_TRAVERSAL_ONLY",
+    "Technique",
+    "__version__",
+    "default_config",
+    "paper_config",
+    "run_experiment",
+    "scale_from_env",
+    "speedup",
+]

@@ -1,0 +1,38 @@
+"""Terminal analysis helpers: bar charts, stacked charts, figures."""
+
+from .charts import bar_chart, comparison_summary, sparkline, stacked_chart
+from .coherence import (
+    CoherenceReport,
+    analyze_by_kind,
+    analyze_group,
+    treelet_transitions,
+    warp_overlap,
+)
+from .figures import (
+    PAPER_VALUES,
+    SPEEDUP_FIGURES,
+    default_results_path,
+    load_results,
+    render_all,
+    render_effectiveness_figure,
+    render_speedup_figure,
+)
+
+__all__ = [
+    "PAPER_VALUES",
+    "SPEEDUP_FIGURES",
+    "CoherenceReport",
+    "analyze_by_kind",
+    "analyze_group",
+    "bar_chart",
+    "comparison_summary",
+    "default_results_path",
+    "load_results",
+    "render_all",
+    "render_effectiveness_figure",
+    "render_speedup_figure",
+    "sparkline",
+    "stacked_chart",
+    "treelet_transitions",
+    "warp_overlap",
+]

@@ -1,0 +1,111 @@
+"""Terminal bar charts for figure-style output.
+
+The benchmark harness prints tables; these helpers render the same
+series as horizontal ASCII bar charts so figure *shapes* (orderings,
+crossovers, stacked breakdowns) are visible at a glance in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+FULL_BLOCK = "#"
+STACK_GLYPHS = "#=+:. "
+
+
+def bar_chart(
+    series: Mapping[str, float],
+    width: int = 40,
+    baseline: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one per entry, scaled to the series maximum.
+
+    With ``baseline`` set, a ``|`` marker shows where that value falls
+    on each bar's scale — handy for speedup charts where 1.0 matters.
+    """
+    if width < 8:
+        raise ValueError("width must be at least 8 characters")
+    if not series:
+        return "(empty series)"
+    if any(v < 0 for v in series.values()):
+        raise ValueError("bar charts require non-negative values")
+    peak = max(series.values()) or 1.0
+    label_width = max(len(k) for k in series)
+    lines = []
+    marker = None
+    if baseline is not None and 0 < baseline <= peak:
+        marker = round(width * baseline / peak)
+    for key, value in series.items():
+        filled = round(width * value / peak)
+        bar = list(FULL_BLOCK * filled + " " * (width - filled))
+        if marker is not None and 0 <= marker < len(bar):
+            bar[marker] = "|"
+        suffix = f" {value:.3f}{unit}"
+        lines.append(f"{key.rjust(label_width)}  {''.join(bar)}{suffix}")
+    return "\n".join(lines)
+
+
+def stacked_chart(
+    rows: Mapping[str, Mapping[str, float]],
+    buckets: Sequence[str],
+    width: int = 40,
+) -> str:
+    """Stacked horizontal bars (e.g. the Figure 12/20 breakdowns).
+
+    Each row's bucket values should sum to ~1; each bucket gets one of
+    the glyphs in legend order.
+    """
+    if len(buckets) > len(STACK_GLYPHS):
+        raise ValueError(
+            f"at most {len(STACK_GLYPHS)} buckets supported"
+        )
+    if not rows:
+        return "(empty chart)"
+    label_width = max(len(k) for k in rows)
+    lines = []
+    for key, values in rows.items():
+        bar: List[str] = []
+        for glyph, bucket in zip(STACK_GLYPHS, buckets):
+            segment = round(width * max(0.0, values.get(bucket, 0.0)))
+            bar.extend(glyph * segment)
+        body = "".join(bar)[:width].ljust(width)
+        lines.append(f"{key.rjust(label_width)}  [{body}]")
+    legend = "  ".join(
+        f"{glyph}={bucket}" for glyph, bucket in zip(STACK_GLYPHS, buckets)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend (e.g. speedup vs a swept parameter)."""
+    glyphs = ".:-=+*#@"
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return glyphs[0] * len(values)
+    out = []
+    for value in values:
+        index = int((value - lo) / span * (len(glyphs) - 1))
+        out.append(glyphs[index])
+    return "".join(out)
+
+
+def comparison_summary(
+    ours: Dict[str, float], paper: Dict[str, float]
+) -> str:
+    """Side-by-side 'measured vs paper' lines for shared keys."""
+    keys = [k for k in ours if k in paper]
+    if not keys:
+        return "(no overlapping keys)"
+    label_width = max(len(k) for k in keys)
+    lines = []
+    for key in keys:
+        lines.append(
+            f"{key.rjust(label_width)}  measured {ours[key]:8.3f}   "
+            f"paper {paper[key]:8.3f}"
+        )
+    return "\n".join(lines)

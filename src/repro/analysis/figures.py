@@ -1,0 +1,110 @@
+"""Render recorded experiment results as terminal figures.
+
+Reads ``results/experiments.json`` (written by the benchmark harness)
+and produces ASCII bar/stacked charts mirroring the paper's figures,
+with the paper's headline values alongside for comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .charts import bar_chart, comparison_summary, stacked_chart
+
+#: Paper headline series used for side-by-side comparison.
+PAPER_VALUES: Dict[str, Dict[str, float]] = {
+    "fig10_heuristics": {
+        "ALWAYS": 1.319,
+        "POPULARITY:0.25": 1.27,
+        "PARTIAL": 1.16,
+    },
+    "fig13_schedulers": {"baseline": 1.319, "omr": 1.318, "pmr": 1.321},
+    "fig14_repacking": {
+        "Repacked": 1.319,
+        "LooseWait": 1.297,
+        "StrictWait": 0.975,
+    },
+    "fig16_prefetcher_latency": {
+        "0": 1.319, "32": 1.309, "128": 1.253, "512": 1.17,
+    },
+    "fig19_treelet_sizes": {
+        "256": 1.248, "512": 1.319, "1024": 1.294, "2048": 1.304,
+    },
+    "fig20_effectiveness": {
+        "timely": 0.478, "unused": 0.435,
+    },
+}
+
+
+def load_results(path: Optional[Path] = None) -> dict:
+    """Load the experiments JSON; raises FileNotFoundError when absent."""
+    path = path or default_results_path()
+    return json.loads(Path(path).read_text())
+
+
+def default_results_path() -> Path:
+    return Path(__file__).resolve().parents[3] / "results" / "experiments.json"
+
+
+def _clean(payload: dict) -> dict:
+    return {
+        k: v
+        for k, v in payload.items()
+        if k not in ("scale", "recorded_at")
+    }
+
+
+def render_speedup_figure(experiment_id: str, payload: dict) -> str:
+    """One speedup-series figure as a bar chart with the 1.0 baseline."""
+    series = {
+        str(k): float(v)
+        for k, v in _clean(payload).items()
+        if isinstance(v, (int, float))
+    }
+    parts = [bar_chart(series, baseline=1.0, unit="x")]
+    if experiment_id in PAPER_VALUES:
+        parts.append("")
+        parts.append(comparison_summary(series, PAPER_VALUES[experiment_id]))
+    return "\n".join(parts)
+
+
+def render_effectiveness_figure(payload: dict) -> str:
+    """Figure 20 as one stacked bar."""
+    buckets = ["timely", "late", "too_late", "early", "unused"]
+    values = {
+        k: float(v)
+        for k, v in _clean(payload).items()
+        if k in buckets
+    }
+    parts = [stacked_chart({"prefetches": values}, buckets=buckets)]
+    parts.append("")
+    parts.append(comparison_summary(values, PAPER_VALUES["fig20_effectiveness"]))
+    return "\n".join(parts)
+
+
+#: Experiments renderable as simple speedup-series charts.
+SPEEDUP_FIGURES = (
+    "fig10_heuristics",
+    "fig13_schedulers",
+    "fig14_repacking",
+    "fig16_prefetcher_latency",
+    "fig19_treelet_sizes",
+    "ablation_classic_prefetchers",
+    "ablation_formation",
+)
+
+
+def render_all(results: dict) -> List[str]:
+    """Every renderable figure from a results dict, as titled blocks."""
+    blocks = []
+    for experiment_id in SPEEDUP_FIGURES:
+        if experiment_id not in results:
+            continue
+        body = render_speedup_figure(experiment_id, results[experiment_id])
+        blocks.append(f"--- {experiment_id} ---\n{body}")
+    if "fig20_effectiveness" in results:
+        body = render_effectiveness_figure(results["fig20_effectiveness"])
+        blocks.append(f"--- fig20_effectiveness ---\n{body}")
+    return blocks

@@ -1,0 +1,152 @@
+"""Flattened BVH node representation.
+
+The paper's RT unit (Vulkan-Sim / Embree style) works on wide BVH nodes that
+occupy exactly 64 bytes each and hold up to six children (Figure 6).  Two
+spare bytes in that layout carry one "same treelet as parent" bit per child,
+which is how the traversal algorithm decides between the two stacks without
+any extra memory traffic.
+
+This module defines the in-memory (simulator) representation: a flat array
+of :class:`FlatNode` indexed by node id.  Byte-level addresses are assigned
+separately by a :class:`~repro.bvh.layout.NodeLayout` so the same tree can
+be laid out depth-first (baseline) or treelet-packed (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from ..geometry import AABB, Triangle
+
+#: Size of one BVH node in bytes (Figure 6: fixed 64-byte layout).
+NODE_SIZE_BYTES = 64
+
+#: Maximum branching factor (6-wide BVH, Figure 6).
+MAX_CHILDREN = 6
+
+#: Bytes of triangle data fetched per ray/primitive test.  Embree's
+#: compressed-leaf format stores roughly this much per triangle.
+PRIMITIVE_SIZE_BYTES = 48
+
+
+@dataclass
+class FlatNode:
+    """One node of a flattened wide BVH.
+
+    Internal nodes have ``child_ids`` and no ``primitive_ids``; leaves have
+    the opposite.  ``depth`` is the root-distance (root = 0).
+    """
+
+    node_id: int
+    bounds: AABB
+    child_ids: Tuple[int, ...] = ()
+    primitive_ids: Tuple[int, ...] = ()
+    parent_id: int = -1
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.child_ids
+
+    @property
+    def fanout(self) -> int:
+        return len(self.child_ids)
+
+    def __post_init__(self) -> None:
+        if self.child_ids and self.primitive_ids:
+            raise ValueError("a node cannot be both internal and leaf")
+        if len(self.child_ids) > MAX_CHILDREN:
+            raise ValueError(
+                f"node {self.node_id} has {len(self.child_ids)} children; "
+                f"max is {MAX_CHILDREN}"
+            )
+
+
+@dataclass
+class FlatBVH:
+    """A flattened wide BVH over a triangle list.
+
+    ``nodes[0]`` is always the root.  The structure is append-only after
+    construction; treelet assignment and memory layout live in separate
+    objects keyed by node id.
+    """
+
+    nodes: List[FlatNode]
+    triangles: Sequence[Triangle]
+    name: str = "bvh"
+
+    ROOT_ID: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a BVH must have at least a root node")
+        for index, node in enumerate(self.nodes):
+            if node.node_id != index:
+                raise ValueError("node_id must equal list index")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> FlatNode:
+        return self.nodes[node_id]
+
+    @property
+    def root(self) -> FlatNode:
+        return self.nodes[self.ROOT_ID]
+
+    def children(self, node_id: int) -> Iterator[FlatNode]:
+        for child_id in self.nodes[node_id].child_ids:
+            yield self.nodes[child_id]
+
+    def depth(self) -> int:
+        """Tree depth counted in levels (a lone root has depth 1)."""
+        return 1 + max(node.depth for node in self.nodes)
+
+    def leaf_ids(self) -> List[int]:
+        return [node.node_id for node in self.nodes if node.is_leaf]
+
+    def internal_ids(self) -> List[int]:
+        return [node.node_id for node in self.nodes if not node.is_leaf]
+
+    def node_bytes(self) -> int:
+        """Total bytes of node data (the 'Tree Size' of Table 2)."""
+        return len(self.nodes) * NODE_SIZE_BYTES
+
+    def primitive_bytes(self) -> int:
+        return len(self.triangles) * PRIMITIVE_SIZE_BYTES
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation.
+
+        Invariants checked:
+          * every non-root node has exactly one parent and is reachable;
+          * parent/child links agree; depths increase by one along edges;
+          * every triangle is referenced by exactly one leaf;
+          * every child's bounds are contained in its parent's bounds.
+        """
+        seen_children = set()
+        seen_primitives: dict = {}
+        for node in self.nodes:
+            for child_id in node.child_ids:
+                if child_id in seen_children:
+                    raise ValueError(f"node {child_id} has two parents")
+                seen_children.add(child_id)
+                child = self.nodes[child_id]
+                if child.parent_id != node.node_id:
+                    raise ValueError(f"bad parent link at node {child_id}")
+                if child.depth != node.depth + 1:
+                    raise ValueError(f"bad depth at node {child_id}")
+                if not node.bounds.expanded(1e-9).contains_box(child.bounds):
+                    raise ValueError(
+                        f"child {child_id} bounds escape parent {node.node_id}"
+                    )
+            for prim_id in node.primitive_ids:
+                if prim_id in seen_primitives:
+                    raise ValueError(f"primitive {prim_id} in two leaves")
+                seen_primitives[prim_id] = node.node_id
+        if len(seen_children) != len(self.nodes) - 1:
+            raise ValueError("unreachable nodes present")
+        expected = {tri.primitive_id for tri in self.triangles}
+        if set(seen_primitives) != expected:
+            raise ValueError("leaves do not cover the triangle set exactly")

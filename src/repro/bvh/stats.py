@@ -1,0 +1,80 @@
+"""BVH tree statistics (the inputs to Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .node import NODE_SIZE_BYTES, FlatBVH
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Summary statistics for one BVH tree."""
+
+    name: str
+    node_count: int
+    leaf_count: int
+    triangle_count: int
+    depth: int
+    size_bytes: int
+    avg_leaf_primitives: float
+    avg_internal_fanout: float
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / (1024.0 * 1024.0)
+
+
+def compute_tree_stats(bvh: FlatBVH) -> TreeStats:
+    """Compute :class:`TreeStats` for a flattened BVH."""
+    leaves = [node for node in bvh.nodes if node.is_leaf]
+    internals = [node for node in bvh.nodes if not node.is_leaf]
+    total_prims = sum(len(node.primitive_ids) for node in leaves)
+    total_fanout = sum(node.fanout for node in internals)
+    return TreeStats(
+        name=bvh.name,
+        node_count=len(bvh.nodes),
+        leaf_count=len(leaves),
+        triangle_count=len(bvh.triangles),
+        depth=bvh.depth(),
+        size_bytes=len(bvh.nodes) * NODE_SIZE_BYTES + bvh.primitive_bytes(),
+        avg_leaf_primitives=(total_prims / len(leaves)) if leaves else 0.0,
+        avg_internal_fanout=(
+            total_fanout / len(internals) if internals else 0.0
+        ),
+    )
+
+
+def nodes_per_level(bvh: FlatBVH) -> Dict[int, int]:
+    """Histogram of node counts by depth (root depth = 0)."""
+    histogram: Dict[int, int] = {}
+    for node in bvh.nodes:
+        histogram[node.depth] = histogram.get(node.depth, 0) + 1
+    return histogram
+
+
+def sah_cost(
+    bvh: FlatBVH,
+    traversal_cost: float = 1.0,
+    intersection_cost: float = 1.5,
+) -> float:
+    """Expected traversal cost of the tree under the surface-area
+    heuristic: each node is visited with probability proportional to the
+    ratio of its surface area to the root's, paying a traversal cost for
+    internal nodes and an intersection cost per leaf primitive.
+
+    Lower is better; used to compare builders (SAH vs median split) and
+    is the quantity the binned build greedily minimizes per split.
+    """
+    root_area = bvh.root.bounds.surface_area()
+    if root_area <= 0.0:
+        return 0.0
+    total = 0.0
+    for node in bvh.nodes:
+        probability = node.bounds.surface_area() / root_area
+        if node.is_leaf:
+            total += probability * intersection_cost * len(node.primitive_ids)
+        else:
+            total += probability * traversal_cost
+    return total

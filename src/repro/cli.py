@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``scenes`` — list the evaluation scenes and their triangle budgets.
+* ``stats`` — BVH/treelet statistics for a scene (Table 2 row).
+* ``run`` — evaluate one technique on one scene vs the baseline.
+* ``sweep`` — evaluate one technique across scenes with gmean speedup.
+* ``render`` — render an ASCII/PGM frame of a scene.
+* ``figures`` — recorded benchmark results as terminal charts.
+
+All heavy options map one-to-one onto :class:`repro.core.Technique`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import (
+    BASELINE,
+    DEFAULT,
+    FULL,
+    PAPER,
+    SMOKE,
+    Technique,
+    run_experiment,
+    speedup,
+)
+from .bvh import compute_tree_stats
+from .core import banner, format_series, format_table, geomean
+from .core.pipeline import get_bvh, get_decomposition
+from .prefetch import PrefetchHeuristic
+from .render import RenderConfig, render
+from .scenes import ALL_SCENES, SCENE_TRIANGLE_BUDGET, build_scene
+
+_SCALES = {"smoke": SMOKE, "default": DEFAULT, "full": FULL, "paper": PAPER}
+
+
+def _add_technique_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--traversal", choices=["dfs", "treelet"],
+                        default="treelet")
+    parser.add_argument("--layout", choices=["dfs", "treelet"],
+                        default="treelet")
+    parser.add_argument("--layout-stride", type=int, default=0)
+    parser.add_argument(
+        "--prefetch",
+        choices=["none", "treelet", "mta", "stride", "stream", "ghb"],
+        default="treelet",
+    )
+    parser.add_argument("--heuristic",
+                        choices=["always", "popularity", "partial"],
+                        default="always")
+    parser.add_argument("--threshold", type=float, default=0.5,
+                        help="popularity threshold (with --heuristic"
+                             " popularity)")
+    parser.add_argument("--scheduler", choices=["baseline", "omr", "pmr"],
+                        default="pmr")
+    parser.add_argument("--treelet-bytes", type=int, default=512)
+    parser.add_argument("--formation", choices=["bfs", "dfs", "sah"],
+                        default="bfs")
+    parser.add_argument("--voter", choices=["full", "pseudo"],
+                        default="full")
+    parser.add_argument("--voter-latency", type=int, default=0)
+    parser.add_argument("--mapping-mode",
+                        choices=["none", "loose", "strict"], default="none")
+
+
+def _technique_from_args(args: argparse.Namespace) -> Technique:
+    heuristic = PrefetchHeuristic(
+        args.heuristic,
+        threshold=args.threshold if args.heuristic == "popularity" else 0.0,
+    )
+    return Technique(
+        traversal=args.traversal,
+        layout=args.layout,
+        layout_stride=args.layout_stride,
+        prefetch=None if args.prefetch == "none" else args.prefetch,
+        heuristic=heuristic,
+        scheduler=args.scheduler,
+        treelet_bytes=args.treelet_bytes,
+        formation=args.formation,
+        voter_mode=args.voter,
+        voter_latency=args.voter_latency,
+        mapping_mode=None if args.mapping_mode == "none" else args.mapping_mode,
+    )
+
+
+def _cmd_scenes(_args: argparse.Namespace) -> int:
+    rows = [
+        [name, SCENE_TRIANGLE_BUDGET[name]]
+        for name in ALL_SCENES
+    ]
+    print(format_table(["scene", "triangle budget"], rows))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale]
+    bvh = get_bvh(args.scene, scale)
+    stats = compute_tree_stats(bvh)
+    decomposition = get_decomposition(args.scene, scale, args.treelet_bytes)
+    print(banner(f"{args.scene} @ scale {scale.name}"))
+    print(f"triangles:       {stats.triangle_count}")
+    print(f"BVH nodes:       {stats.node_count} "
+          f"({stats.leaf_count} leaves, depth {stats.depth})")
+    print(f"tree size:       {stats.size_mb:.3f} MB")
+    print(f"avg fanout:      {stats.avg_internal_fanout:.2f}")
+    print(f"treelets:        {decomposition.treelet_count} "
+          f"(<= {args.treelet_bytes} B, occupancy "
+          f"{decomposition.occupancy():.2f})")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale]
+    technique = _technique_from_args(args)
+    base = run_experiment(args.scene, BASELINE, scale)
+    result = run_experiment(args.scene, technique, scale)
+    print(banner(f"{args.scene}: {technique.label()} vs baseline"))
+    print(f"baseline cycles:   {base.cycles}")
+    print(f"technique cycles:  {result.cycles}")
+    print(f"speedup:           {speedup(base, result):.3f}x")
+    print(f"BVH load latency:  {base.stats.avg_node_demand_latency:.0f} -> "
+          f"{result.stats.avg_node_demand_latency:.0f} cycles")
+    print(f"power ratio:       "
+          f"{result.power.avg_power / base.power.avg_power:.3f}")
+    if result.stats.prefetches_issued:
+        print(format_series(
+            "prefetch effectiveness:",
+            result.stats.effectiveness.fractions(),
+        ))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale]
+    technique = _technique_from_args(args)
+    scenes = args.scenes or list(ALL_SCENES)
+    rows = []
+    gains = []
+    for scene in scenes:
+        base = run_experiment(scene, BASELINE, scale)
+        result = run_experiment(scene, technique, scale)
+        gain = speedup(base, result)
+        gains.append(gain)
+        rows.append([scene, base.cycles, result.cycles, round(gain, 3)])
+    rows.append(["GMean", "", "", round(geomean(gains), 3)])
+    print(banner(f"sweep: {technique.label()} @ scale {scale.name}"))
+    print(format_table(["scene", "base cyc", "ours cyc", "speedup"], rows))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .analysis import default_results_path, load_results, render_all
+
+    path = args.results or default_results_path()
+    try:
+        results = load_results(path)
+    except FileNotFoundError:
+        print(
+            f"no results at {path}; run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    blocks = render_all(results)
+    if not blocks:
+        print("results file contains no renderable figures", file=sys.stderr)
+        return 1
+    print("\n\n".join(blocks))
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale]
+    scene = build_scene(args.scene, scale.scene_scale)
+    bvh = get_bvh(args.scene, scale)
+    image = render(
+        bvh, scene.camera, RenderConfig(width=args.size, height=args.size)
+    )
+    print(image.to_ascii())
+    if args.output:
+        out = image.write_pgm(args.output)
+        print(f"wrote {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Treelet Prefetching For Ray Tracing — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenes", help="list evaluation scenes")
+
+    stats = sub.add_parser("stats", help="BVH/treelet stats for a scene")
+    stats.add_argument("scene", choices=list(ALL_SCENES))
+    stats.add_argument("--scale", choices=list(_SCALES), default="default")
+    stats.add_argument("--treelet-bytes", type=int, default=512)
+
+    run = sub.add_parser("run", help="one technique vs baseline on a scene")
+    run.add_argument("scene", choices=list(ALL_SCENES))
+    run.add_argument("--scale", choices=list(_SCALES), default="default")
+    _add_technique_args(run)
+
+    sweep = sub.add_parser("sweep", help="one technique across scenes")
+    sweep.add_argument("--scenes", nargs="*", choices=list(ALL_SCENES))
+    sweep.add_argument("--scale", choices=list(_SCALES), default="default")
+    _add_technique_args(sweep)
+
+    rend = sub.add_parser("render", help="render a scene frame")
+    rend.add_argument("scene", choices=list(ALL_SCENES))
+    rend.add_argument("--scale", choices=list(_SCALES), default="default")
+    rend.add_argument("--size", type=int, default=48)
+    rend.add_argument("--output", help="write a PGM file here")
+
+    figures = sub.add_parser(
+        "figures", help="render recorded benchmark results as ASCII charts"
+    )
+    figures.add_argument("--results", help="path to experiments.json")
+
+    return parser
+
+
+_COMMANDS = {
+    "scenes": _cmd_scenes,
+    "stats": _cmd_stats,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "render": _cmd_render,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

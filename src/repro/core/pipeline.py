@@ -1,0 +1,490 @@
+"""End-to-end pipeline: scene -> BVH -> treelets -> traces -> timing sim.
+
+This is the library's main entry point.  A :class:`Technique` names one
+point in the paper's design space (traversal algorithm, memory layout,
+prefetcher, heuristic, scheduler, voter, treelet size);
+:func:`run_experiment` evaluates it on one scene and returns timing,
+memory, power, and traversal statistics.
+
+All heavyweight intermediate artifacts (built scenes, BVHs, ray
+populations, traces, decompositions) are memoized per process so a
+parameter sweep over one scene pays scene/BVH construction once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bvh import (
+    BuildConfig,
+    FlatBVH,
+    NodeLayout,
+    build_wide_bvh,
+    compute_tree_stats,
+    dfs_layout,
+)
+from ..bvh.stats import TreeStats
+from ..geometry import Ray
+from ..gpusim import GpuModel, SimStats
+from ..power import PowerReport, evaluate_power
+from ..prefetch import (
+    AdaptiveThrottle,
+    GhbPrefetcher,
+    MajorityVoter,
+    MtaPrefetcher,
+    PrefetchHeuristic,
+    StridePrefetcher,
+    StreamPrefetcher,
+    TreeletAddressMap,
+    TreeletPrefetcher,
+)
+from ..scenes import RayGenConfig, build_scene, generate_rays
+from ..traversal import (
+    DEFERRED_ORDERS,
+    RayTrace,
+    TraversalSummary,
+    summarize_traces,
+    traverse_dfs_batch,
+    traverse_two_stack_batch,
+)
+from ..treelet import (
+    DEFAULT_TREELET_BYTES,
+    FORMATION_STRATEGIES,
+    TreeletDecomposition,
+    build_mapping_table,
+    form_treelets,
+    treelet_layout,
+)
+from .config import GpuConfig, default_config, paper_config, smoke_config
+
+TRAVERSAL_KINDS = ("dfs", "treelet")
+LAYOUT_KINDS = ("dfs", "treelet")
+PREFETCH_KINDS = (None, "treelet", "mta", "stride", "stream", "ghb")
+
+
+@dataclass(frozen=True)
+class Technique:
+    """One configuration of the paper's design space."""
+
+    traversal: str = "dfs"
+    deferred_order: str = "nearest"
+    layout: str = "dfs"
+    layout_stride: int = 0
+    prefetch: Optional[str] = None
+    heuristic: PrefetchHeuristic = field(default_factory=PrefetchHeuristic)
+    scheduler: str = "baseline"
+    treelet_bytes: int = DEFAULT_TREELET_BYTES
+    formation: str = "bfs"  # treelet formation strategy (Section 3.1)
+    voter_mode: str = "full"
+    voter_latency: int = 0
+    mapping_mode: Optional[str] = None
+    adaptive: bool = False  # Section 7.1 self-tuning throttle
+
+    def __post_init__(self) -> None:
+        if self.traversal not in TRAVERSAL_KINDS:
+            raise ValueError(f"unknown traversal {self.traversal!r}")
+        if self.deferred_order not in DEFERRED_ORDERS:
+            raise ValueError(f"unknown deferred order {self.deferred_order!r}")
+        if self.layout not in LAYOUT_KINDS:
+            raise ValueError(f"unknown layout {self.layout!r}")
+        if self.prefetch not in PREFETCH_KINDS:
+            raise ValueError(f"unknown prefetcher {self.prefetch!r}")
+        if self.layout_stride < 0:
+            raise ValueError("layout stride must be non-negative")
+        if self.prefetch == "treelet" and self.traversal != "treelet":
+            raise ValueError(
+                "the treelet prefetcher requires treelet-based traversal"
+            )
+        if self.mapping_mode is not None:
+            if self.layout != "dfs" or self.prefetch != "treelet":
+                raise ValueError(
+                    "mapping modes model an unmodified (dfs) BVH layout "
+                    "with the treelet prefetcher"
+                )
+        if self.layout_stride and self.layout != "treelet":
+            raise ValueError("layout_stride applies to the treelet layout")
+        if self.formation not in FORMATION_STRATEGIES:
+            raise ValueError(f"unknown formation strategy {self.formation!r}")
+        if self.adaptive and self.prefetch != "treelet":
+            raise ValueError(
+                "the adaptive throttle applies to the treelet prefetcher"
+            )
+
+    @property
+    def uses_treelets(self) -> bool:
+        return (
+            self.traversal == "treelet"
+            or self.layout == "treelet"
+            or self.prefetch == "treelet"
+        )
+
+    def label(self) -> str:
+        parts = [self.traversal]
+        if self.prefetch:
+            parts.append(self.prefetch)
+            if self.prefetch == "treelet":
+                parts.append(self.heuristic.label())
+        if self.scheduler != "baseline":
+            parts.append(self.scheduler.upper())
+        return "+".join(parts)
+
+
+#: The paper's baseline RT unit: DFS traversal, stock layout, no prefetch.
+BASELINE = Technique()
+
+#: The headline configuration of Figure 7: treelet traversal + prefetch,
+#: ALWAYS heuristic, PMR scheduler, 512 B treelets, repacked layout.
+TREELET_PREFETCH = Technique(
+    traversal="treelet",
+    layout="treelet",
+    prefetch="treelet",
+    scheduler="pmr",
+)
+
+#: Treelet traversal alone (Figure 9's bottom stack).
+TREELET_TRAVERSAL_ONLY = Technique(traversal="treelet", layout="treelet")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload magnitude: scene size, image size, GPU size."""
+
+    name: str
+    scene_scale: float
+    width: int
+    height: int
+    secondary: bool = True
+
+    def raygen(self, seed: int = 0) -> RayGenConfig:
+        return RayGenConfig(
+            width=self.width,
+            height=self.height,
+            secondary=self.secondary,
+            seed=seed,
+        )
+
+    def gpu_config(self) -> GpuConfig:
+        if self.name == "smoke":
+            return smoke_config()
+        if self.name == "paper":
+            return paper_config()
+        return default_config()
+
+
+SMOKE = Scale("smoke", scene_scale=0.05, width=8, height=8)
+DEFAULT = Scale("default", scene_scale=1.0, width=16, height=16)
+FULL = Scale("full", scene_scale=1.0, width=32, height=32)
+#: Table 1 verbatim (8 SMs, 64 KB L1, 3 MB L2) at the paper's 32x32
+#: resolution.  With our (small) procedural scenes most trees become
+#: cache-resident here — useful for sanity checks like "WKND gains
+#: nothing", not for headline numbers.
+PAPER = Scale("paper", scene_scale=1.0, width=32, height=32)
+
+
+def scale_from_env(default: Scale = DEFAULT) -> Scale:
+    """Pick the scale from ``REPRO_SCALE`` (smoke/default/full/paper)."""
+    name = os.environ.get("REPRO_SCALE", "").strip().lower()
+    return {
+        "smoke": SMOKE,
+        "default": DEFAULT,
+        "full": FULL,
+        "paper": PAPER,
+    }.get(name, default)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one (scene, technique) evaluation produced."""
+
+    scene: str
+    technique: Technique
+    stats: SimStats
+    power: PowerReport
+    traversal: TraversalSummary
+    tree: TreeStats
+    treelet_count: int
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+# ---------------------------------------------------------------------------
+# Memoized workload construction.
+# ---------------------------------------------------------------------------
+
+_BVH_CACHE: Dict[Tuple[str, float], FlatBVH] = {}
+_RAY_CACHE: Dict[Tuple[str, float, int, int, bool], List[Ray]] = {}
+_DECOMP_CACHE: Dict[Tuple[str, float, int], TreeletDecomposition] = {}
+_TRACE_CACHE: Dict[tuple, List[RayTrace]] = {}
+_RESULT_CACHE: Dict[tuple, ExperimentResult] = {}
+
+
+#: Build parameters matching Embree's *effective* shape: the node format
+#: is 6-wide (Figure 6) but real Embree trees fill ~3 child slots on
+#: average, giving the Table 2 depth range.  Small leaves keep per-ray
+#: visit counts in the paper's regime.
+DEFAULT_BUILD = BuildConfig(max_leaf_size=2)
+DEFAULT_BRANCHING = 3
+
+
+def get_bvh(scene_name: str, scale: Scale) -> FlatBVH:
+    key = (scene_name, scale.scene_scale)
+    if key not in _BVH_CACHE:
+        scene = build_scene(scene_name, scale.scene_scale)
+        _BVH_CACHE[key] = build_wide_bvh(
+            scene.mesh.triangles(),
+            config=DEFAULT_BUILD,
+            branching_factor=DEFAULT_BRANCHING,
+            name=scene_name,
+        )
+    return _BVH_CACHE[key]
+
+
+def get_rays(scene_name: str, scale: Scale) -> List[Ray]:
+    key = (
+        scene_name,
+        scale.scene_scale,
+        scale.width,
+        scale.height,
+        scale.secondary,
+    )
+    if key not in _RAY_CACHE:
+        scene = build_scene(scene_name, scale.scene_scale)
+        bvh = get_bvh(scene_name, scale)
+        _RAY_CACHE[key] = generate_rays(scene.camera, bvh, scale.raygen())
+    return _RAY_CACHE[key]
+
+
+def get_decomposition(
+    scene_name: str,
+    scale: Scale,
+    treelet_bytes: int,
+    strategy: str = "bfs",
+) -> TreeletDecomposition:
+    key = (scene_name, scale.scene_scale, treelet_bytes, strategy)
+    if key not in _DECOMP_CACHE:
+        _DECOMP_CACHE[key] = form_treelets(
+            get_bvh(scene_name, scale), treelet_bytes, strategy
+        )
+    return _DECOMP_CACHE[key]
+
+
+def get_traces(
+    scene_name: str,
+    scale: Scale,
+    traversal: str,
+    treelet_bytes: int,
+    deferred_order: str = "nearest",
+    formation: str = "bfs",
+) -> List[RayTrace]:
+    """Functional traversal traces (the timing model's input)."""
+    key = (
+        scene_name,
+        scale.scene_scale,
+        scale.width,
+        scale.height,
+        scale.secondary,
+        traversal,
+        treelet_bytes if traversal == "treelet" else 0,
+        deferred_order if traversal == "treelet" else "",
+        formation if traversal == "treelet" else "",
+    )
+    if key not in _TRACE_CACHE:
+        bvh = get_bvh(scene_name, scale)
+        rays = [ray.clone() for ray in get_rays(scene_name, scale)]
+        if traversal == "dfs":
+            traces = traverse_dfs_batch(rays, bvh)
+        else:
+            decomposition = get_decomposition(
+                scene_name, scale, treelet_bytes, formation
+            )
+            traces = traverse_two_stack_batch(
+                rays, bvh, decomposition, deferred_order
+            )
+        _TRACE_CACHE[key] = traces
+    return _TRACE_CACHE[key]
+
+
+def clear_caches() -> None:
+    """Drop all memoized workload artifacts (tests use this)."""
+    _BVH_CACHE.clear()
+    _RAY_CACHE.clear()
+    _DECOMP_CACHE.clear()
+    _TRACE_CACHE.clear()
+    _RESULT_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Experiment execution.
+# ---------------------------------------------------------------------------
+
+
+def _build_layout(
+    technique: Technique,
+    bvh: FlatBVH,
+    decomposition: Optional[TreeletDecomposition],
+) -> NodeLayout:
+    if technique.layout == "treelet":
+        assert decomposition is not None
+        return treelet_layout(
+            decomposition, stride_bytes=technique.layout_stride
+        )
+    layout = dfs_layout(bvh)
+    if decomposition is not None:
+        # Even with the stock layout, nodes know their treelet (the
+        # Figure 6 child bits); the timing model reads it off the layout.
+        layout.node_treelet = dict(decomposition.assignment)
+    return layout
+
+
+def _prefetcher_factory(
+    technique: Technique,
+    gpu: GpuConfig,
+    layout: NodeLayout,
+    decomposition: Optional[TreeletDecomposition],
+):
+    kind = technique.prefetch
+    if kind is None:
+        return None
+    line_bytes = gpu.l1.line_bytes
+    if kind == "treelet":
+        assert decomposition is not None
+        mapping_table = None
+        if technique.mapping_mode is not None:
+            mapping_table = build_mapping_table(decomposition, layout)
+        address_map = TreeletAddressMap(
+            decomposition, layout, line_bytes, mapping_table
+        )
+
+        def factory(_sm: int) -> TreeletPrefetcher:
+            return TreeletPrefetcher(
+                address_map,
+                heuristic=technique.heuristic,
+                voter=MajorityVoter(
+                    technique.voter_mode, technique.voter_latency
+                ),
+                warp_size=gpu.warp_size,
+                warp_buffer_size=gpu.warp_buffer_size,
+                mapping_mode=technique.mapping_mode,
+                adaptive=AdaptiveThrottle() if technique.adaptive else None,
+            )
+
+        return factory
+    simple = {
+        "mta": lambda: MtaPrefetcher(line_bytes=line_bytes),
+        "stride": lambda: StridePrefetcher(line_bytes=line_bytes),
+        "stream": lambda: StreamPrefetcher(line_bytes=line_bytes),
+        "ghb": lambda: GhbPrefetcher(line_bytes=line_bytes),
+    }[kind]
+    return lambda _sm: simple()
+
+
+def build_gpu_model(
+    scene_name: str,
+    technique: Technique,
+    scale: Scale = DEFAULT,
+    gpu_config: Optional[GpuConfig] = None,
+    **model_kwargs,
+):
+    """Construct a loaded :class:`~repro.gpusim.GpuModel` without running it.
+
+    For users who want to drive the timing model directly (attach a
+    timeline sampler, single-step, run frames).  Returns
+    ``(model, traces, bvh, layout)``; call ``model.run()`` to simulate.
+    """
+    from ..gpusim import GpuModel
+
+    gpu = gpu_config or scale.gpu_config()
+    bvh = get_bvh(scene_name, scale)
+    decomposition = (
+        get_decomposition(
+            scene_name, scale, technique.treelet_bytes, technique.formation
+        )
+        if technique.uses_treelets
+        else None
+    )
+    layout = _build_layout(technique, bvh, decomposition)
+    traces = get_traces(
+        scene_name,
+        scale,
+        technique.traversal,
+        technique.treelet_bytes,
+        technique.deferred_order,
+        technique.formation,
+    )
+    model = GpuModel(
+        gpu,
+        scheduler_policy=technique.scheduler,
+        prefetcher_factory=_prefetcher_factory(
+            technique, gpu, layout, decomposition
+        ),
+        **model_kwargs,
+    )
+    model.load(traces, bvh, layout)
+    return model, traces, bvh, layout
+
+
+def run_experiment(
+    scene_name: str,
+    technique: Technique = BASELINE,
+    scale: Scale = DEFAULT,
+    gpu_config: Optional[GpuConfig] = None,
+    use_cache: bool = True,
+) -> ExperimentResult:
+    """Evaluate ``technique`` on ``scene_name`` at ``scale``.
+
+    Pass an explicit ``gpu_config`` to override the scale's default (such
+    runs are not memoized).
+    """
+    cache_key = (scene_name, technique, scale.name)
+    if use_cache and gpu_config is None and cache_key in _RESULT_CACHE:
+        return _RESULT_CACHE[cache_key]
+    gpu = gpu_config or scale.gpu_config()
+    bvh = get_bvh(scene_name, scale)
+    decomposition = (
+        get_decomposition(
+            scene_name, scale, technique.treelet_bytes, technique.formation
+        )
+        if technique.uses_treelets
+        else None
+    )
+    layout = _build_layout(technique, bvh, decomposition)
+    traces = get_traces(
+        scene_name,
+        scale,
+        technique.traversal,
+        technique.treelet_bytes,
+        technique.deferred_order,
+        technique.formation,
+    )
+    model = GpuModel(
+        gpu,
+        scheduler_policy=technique.scheduler,
+        prefetcher_factory=_prefetcher_factory(
+            technique, gpu, layout, decomposition
+        ),
+    )
+    model.load(traces, bvh, layout)
+    stats = model.run()
+    result = ExperimentResult(
+        scene=scene_name,
+        technique=technique,
+        stats=stats,
+        power=evaluate_power(stats),
+        traversal=summarize_traces(traces),
+        tree=compute_tree_stats(bvh),
+        treelet_count=decomposition.treelet_count if decomposition else 0,
+    )
+    if use_cache and gpu_config is None:
+        _RESULT_CACHE[cache_key] = result
+    return result
+
+
+def speedup(baseline: ExperimentResult, candidate: ExperimentResult) -> float:
+    """Cycle-ratio speedup of ``candidate`` over ``baseline`` (>1 = faster)."""
+    if candidate.stats.cycles == 0:
+        raise ValueError("candidate ran for zero cycles")
+    return baseline.stats.cycles / candidate.stats.cycles

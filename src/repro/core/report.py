@@ -1,0 +1,61 @@
+"""Plain-text tables and series for the benchmark harness output."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's cross-scene aggregate)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Dict[str, float], unit: str = "") -> str:
+    """One labeled series (one figure bar group) as aligned lines."""
+    lines = [title]
+    width = max((len(k) for k in series), default=0)
+    for key, value in series.items():
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"  {key.ljust(width)}  {value:10.4f}{suffix}")
+    return "\n".join(lines)
+
+
+def format_percent(value: float) -> str:
+    return f"{100.0 * value:+.1f}%"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def banner(text: str) -> str:
+    bar = "=" * max(20, len(text) + 4)
+    return f"{bar}\n  {text}\n{bar}"

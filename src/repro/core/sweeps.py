@@ -1,0 +1,117 @@
+"""Sweep helpers: evaluate techniques across scenes and summarize.
+
+The benchmark harness and the CLI both need "run technique T across
+scene set S against the baseline and aggregate" — this module is that
+shared machinery, exposed as a public API so downstream users can build
+their own experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .pipeline import (
+    BASELINE,
+    DEFAULT,
+    ExperimentResult,
+    Scale,
+    Technique,
+    run_experiment,
+    speedup,
+)
+from .report import geomean
+
+
+@dataclass
+class SceneOutcome:
+    """Baseline + candidate results for one scene."""
+
+    scene: str
+    baseline: ExperimentResult
+    candidate: ExperimentResult
+
+    @property
+    def speedup(self) -> float:
+        return speedup(self.baseline, self.candidate)
+
+    @property
+    def latency_reduction(self) -> float:
+        """Fractional cut in average BVH demand-load latency."""
+        before = self.baseline.stats.avg_node_demand_latency
+        after = self.candidate.stats.avg_node_demand_latency
+        if before <= 0:
+            return 0.0
+        return 1.0 - after / before
+
+    @property
+    def power_ratio(self) -> float:
+        base = self.baseline.power.avg_power
+        if base <= 0:
+            return 1.0
+        return self.candidate.power.avg_power / base
+
+
+@dataclass
+class SweepResult:
+    """One technique evaluated across a scene set."""
+
+    technique: Technique
+    outcomes: Dict[str, SceneOutcome] = field(default_factory=dict)
+
+    @property
+    def scenes(self) -> List[str]:
+        return list(self.outcomes)
+
+    def speedups(self) -> Dict[str, float]:
+        return {s: o.speedup for s, o in self.outcomes.items()}
+
+    @property
+    def gmean_speedup(self) -> float:
+        values = list(self.speedups().values())
+        return geomean(values) if values else 0.0
+
+    @property
+    def gmean_power_ratio(self) -> float:
+        values = [o.power_ratio for o in self.outcomes.values()]
+        return geomean(values) if values else 0.0
+
+    def best_scene(self) -> Optional[str]:
+        if not self.outcomes:
+            return None
+        return max(self.outcomes, key=lambda s: self.outcomes[s].speedup)
+
+    def worst_scene(self) -> Optional[str]:
+        if not self.outcomes:
+            return None
+        return min(self.outcomes, key=lambda s: self.outcomes[s].speedup)
+
+
+def run_sweep(
+    technique: Technique,
+    scenes: Iterable[str],
+    scale: Scale = DEFAULT,
+    baseline: Technique = BASELINE,
+) -> SweepResult:
+    """Evaluate ``technique`` against ``baseline`` on every scene."""
+    result = SweepResult(technique=technique)
+    for scene in scenes:
+        result.outcomes[scene] = SceneOutcome(
+            scene=scene,
+            baseline=run_experiment(scene, baseline, scale),
+            candidate=run_experiment(scene, technique, scale),
+        )
+    return result
+
+
+def compare_techniques(
+    techniques: Dict[str, Technique],
+    scenes: Iterable[str],
+    scale: Scale = DEFAULT,
+) -> Dict[str, SweepResult]:
+    """Sweep several labeled techniques over the same scene set."""
+    scenes = list(scenes)
+    return {
+        label: run_sweep(technique, scenes, scale)
+        for label, technique in techniques.items()
+    }

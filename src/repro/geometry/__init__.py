@@ -1,0 +1,54 @@
+"""Geometry substrate: vectors, boxes, rays, triangles, meshes."""
+
+from .aabb import AABB, union_all
+from .mesh import Mesh, merge_meshes, mesh_bounds
+from .ray import Hit, Ray, RayKind
+from .triangle import Triangle
+from .vec import (
+    Vec3,
+    add,
+    cross,
+    distance,
+    dot,
+    hadamard,
+    length,
+    length_squared,
+    lerp,
+    mul,
+    normalize,
+    reflect,
+    safe_inverse,
+    sub,
+    vec3,
+    vmax,
+    vmin,
+)
+
+__all__ = [
+    "AABB",
+    "Hit",
+    "Mesh",
+    "Ray",
+    "RayKind",
+    "Triangle",
+    "Vec3",
+    "add",
+    "cross",
+    "distance",
+    "dot",
+    "hadamard",
+    "length",
+    "length_squared",
+    "lerp",
+    "merge_meshes",
+    "mesh_bounds",
+    "mul",
+    "normalize",
+    "reflect",
+    "safe_inverse",
+    "sub",
+    "union_all",
+    "vec3",
+    "vmax",
+    "vmin",
+]

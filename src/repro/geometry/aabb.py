@@ -1,0 +1,136 @@
+"""Axis-aligned bounding boxes (AABBs).
+
+The BVH builder, treelet formation, and the slab intersection test all work
+in terms of these boxes.  An AABB is immutable; growing operations return
+new boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .vec import Vec3, vmax, vmin
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class AABB:
+    """An axis-aligned box described by its min and max corners."""
+
+    lo: Vec3
+    hi: Vec3
+
+    @staticmethod
+    def empty() -> "AABB":
+        """The identity element for :meth:`union` — contains nothing."""
+        return AABB((_INF, _INF, _INF), (-_INF, -_INF, -_INF))
+
+    @staticmethod
+    def from_points(points: Iterable[Vec3]) -> "AABB":
+        box = AABB.empty()
+        for p in points:
+            box = box.grow(p)
+        return box
+
+    def is_empty(self) -> bool:
+        return (
+            self.lo[0] > self.hi[0]
+            or self.lo[1] > self.hi[1]
+            or self.lo[2] > self.hi[2]
+        )
+
+    def grow(self, point: Vec3) -> "AABB":
+        """Return the smallest box containing this box and ``point``."""
+        return AABB(vmin(self.lo, point), vmax(self.hi, point))
+
+    def union(self, other: "AABB") -> "AABB":
+        return AABB(vmin(self.lo, other.lo), vmax(self.hi, other.hi))
+
+    def intersection(self, other: "AABB") -> "AABB":
+        """The overlapping region; may be empty."""
+        return AABB(vmax(self.lo, other.lo), vmin(self.hi, other.hi))
+
+    def contains_point(self, point: Vec3) -> bool:
+        return all(self.lo[i] <= point[i] <= self.hi[i] for i in range(3))
+
+    def contains_box(self, other: "AABB") -> bool:
+        if other.is_empty():
+            return True
+        return all(
+            self.lo[i] <= other.lo[i] and other.hi[i] <= self.hi[i]
+            for i in range(3)
+        )
+
+    def overlaps(self, other: "AABB") -> bool:
+        if self.is_empty() or other.is_empty():
+            return False
+        return all(
+            self.lo[i] <= other.hi[i] and other.lo[i] <= self.hi[i]
+            for i in range(3)
+        )
+
+    def centroid(self) -> Vec3:
+        return (
+            0.5 * (self.lo[0] + self.hi[0]),
+            0.5 * (self.lo[1] + self.hi[1]),
+            0.5 * (self.lo[2] + self.hi[2]),
+        )
+
+    def extent(self) -> Vec3:
+        """Edge lengths along each axis (zero for an empty box)."""
+        if self.is_empty():
+            return (0.0, 0.0, 0.0)
+        return (
+            self.hi[0] - self.lo[0],
+            self.hi[1] - self.lo[1],
+            self.hi[2] - self.lo[2],
+        )
+
+    def surface_area(self) -> float:
+        """Total surface area, the quantity minimized by the SAH builder."""
+        if self.is_empty():
+            return 0.0
+        dx, dy, dz = self.extent()
+        return 2.0 * (dx * dy + dy * dz + dz * dx)
+
+    def half_area(self) -> float:
+        if self.is_empty():
+            return 0.0
+        dx, dy, dz = self.extent()
+        return dx * dy + dy * dz + dz * dx
+
+    def volume(self) -> float:
+        if self.is_empty():
+            return 0.0
+        dx, dy, dz = self.extent()
+        return dx * dy * dz
+
+    def longest_axis(self) -> int:
+        """0, 1, or 2 — the axis with the largest extent."""
+        ext = self.extent()
+        axis = 0
+        if ext[1] > ext[axis]:
+            axis = 1
+        if ext[2] > ext[axis]:
+            axis = 2
+        return axis
+
+    def expanded(self, margin: float) -> "AABB":
+        """Box grown by ``margin`` on every face."""
+        if self.is_empty():
+            return self
+        m = (margin, margin, margin)
+        return AABB(
+            (self.lo[0] - m[0], self.lo[1] - m[1], self.lo[2] - m[2]),
+            (self.hi[0] + m[0], self.hi[1] + m[1], self.hi[2] + m[2]),
+        )
+
+
+def union_all(boxes: Iterable[AABB]) -> AABB:
+    """Union of an iterable of boxes (empty box for an empty iterable)."""
+    out: Optional[AABB] = None
+    for box in boxes:
+        out = box if out is None else out.union(box)
+    return out if out is not None else AABB.empty()

@@ -1,0 +1,89 @@
+"""Rays and ray bookkeeping.
+
+A ray is parameterized as ``origin + t * direction`` for ``t`` in
+``[t_min, t_max]``.  ``t_max`` shrinks as closer hits are found, which is
+what enables early ray termination during traversal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from .vec import Vec3, add, mul, normalize, safe_inverse
+
+_ray_ids = itertools.count()
+
+
+class RayKind(Enum):
+    """Why a ray was cast; used for trace statistics and ray generation."""
+
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+    SHADOW = "shadow"
+    REFLECTION = "reflection"
+
+
+@dataclass
+class Ray:
+    """A single ray with its traversal interval.
+
+    Attributes:
+        origin: world-space start point.
+        direction: unit direction (normalized on construction).
+        t_min: minimum accepted hit distance (avoids self-intersection).
+        t_max: maximum accepted hit distance; traversal shrinks this.
+        kind: provenance of the ray (primary / secondary / ...).
+        ray_id: unique id, stable across traversal, used by the timing
+            model to key per-ray state.
+    """
+
+    origin: Vec3
+    direction: Vec3
+    t_min: float = 1e-4
+    t_max: float = float("inf")
+    kind: RayKind = RayKind.PRIMARY
+    ray_id: int = field(default_factory=lambda: next(_ray_ids))
+
+    def __post_init__(self) -> None:
+        self.direction = normalize(self.direction)
+        self.inv_direction: Vec3 = safe_inverse(self.direction)
+        if self.t_min < 0.0:
+            raise ValueError("t_min must be non-negative")
+        if self.t_max < self.t_min:
+            raise ValueError("t_max must be >= t_min")
+        self._initial_t_max = self.t_max
+
+    def at(self, t: float) -> Vec3:
+        """Point along the ray at parameter ``t``."""
+        return add(self.origin, mul(self.direction, t))
+
+    def clone(self) -> "Ray":
+        """A fresh copy with the same id and the *original* interval.
+
+        Traversal mutates ``t_max`` (early ray termination), so comparing
+        two traversal algorithms on "the same" ray requires cloning.
+        """
+        return Ray(
+            origin=self.origin,
+            direction=self.direction,
+            t_min=self.t_min,
+            t_max=self._initial_t_max,
+            kind=self.kind,
+            ray_id=self.ray_id,
+        )
+
+
+@dataclass
+class Hit:
+    """Result of a ray/primitive intersection."""
+
+    t: float
+    primitive_id: int
+    point: Vec3
+    normal: Vec3
+
+    def closer_than(self, other: Optional["Hit"]) -> bool:
+        return other is None or self.t < other.t

@@ -1,0 +1,49 @@
+"""Triangle primitives.
+
+Triangles are the only primitive type, matching the paper's evaluation
+(Embree-built BVHs over triangle meshes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .aabb import AABB
+from .vec import Vec3, cross, length, normalize, sub, vmax, vmin
+
+
+@dataclass(frozen=True)
+class Triangle:
+    """An immutable triangle with a stable primitive id."""
+
+    v0: Vec3
+    v1: Vec3
+    v2: Vec3
+    primitive_id: int = 0
+
+    def bounds(self) -> AABB:
+        lo = vmin(self.v0, vmin(self.v1, self.v2))
+        hi = vmax(self.v0, vmax(self.v1, self.v2))
+        return AABB(lo, hi)
+
+    def centroid(self) -> Vec3:
+        third = 1.0 / 3.0
+        return (
+            (self.v0[0] + self.v1[0] + self.v2[0]) * third,
+            (self.v0[1] + self.v1[1] + self.v2[1]) * third,
+            (self.v0[2] + self.v1[2] + self.v2[2]) * third,
+        )
+
+    def normal(self) -> Vec3:
+        """Unit geometric normal (right-hand rule over v0, v1, v2)."""
+        n = cross(sub(self.v1, self.v0), sub(self.v2, self.v0))
+        return normalize(n)
+
+    def area(self) -> float:
+        n = cross(sub(self.v1, self.v0), sub(self.v2, self.v0))
+        return 0.5 * length(n)
+
+    def is_degenerate(self, eps: float = 1e-12) -> bool:
+        """True when the triangle has (near-)zero area."""
+        n = cross(sub(self.v1, self.v0), sub(self.v2, self.v0))
+        return length(n) < eps

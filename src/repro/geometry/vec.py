@@ -1,0 +1,111 @@
+"""Minimal 3D vector math used throughout the reproduction.
+
+Vectors are plain tuples of three floats.  Tuples keep the hot traversal
+loops allocation-light and hashable (useful for caching and for hypothesis
+strategies), while numpy is reserved for the bulk mesh generators where
+vectorization actually pays off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+Vec3 = Tuple[float, float, float]
+
+EPSILON = 1e-9
+
+
+def vec3(x: float, y: float, z: float) -> Vec3:
+    """Build a vector from components (floats enforced)."""
+    return (float(x), float(y), float(z))
+
+
+def add(a: Vec3, b: Vec3) -> Vec3:
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def sub(a: Vec3, b: Vec3) -> Vec3:
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def mul(a: Vec3, s: float) -> Vec3:
+    return (a[0] * s, a[1] * s, a[2] * s)
+
+
+def hadamard(a: Vec3, b: Vec3) -> Vec3:
+    """Component-wise product."""
+    return (a[0] * b[0], a[1] * b[1], a[2] * b[2])
+
+
+def dot(a: Vec3, b: Vec3) -> float:
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+
+def cross(a: Vec3, b: Vec3) -> Vec3:
+    return (
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    )
+
+
+def length(a: Vec3) -> float:
+    return math.sqrt(dot(a, a))
+
+
+def length_squared(a: Vec3) -> float:
+    return dot(a, a)
+
+
+def normalize(a: Vec3) -> Vec3:
+    """Return the unit vector along ``a``.
+
+    Raises ``ValueError`` for the zero vector instead of returning NaNs —
+    a zero direction ray is always a caller bug.
+    """
+    norm = length(a)
+    if norm < EPSILON:
+        raise ValueError("cannot normalize a zero-length vector")
+    inv = 1.0 / norm
+    return (a[0] * inv, a[1] * inv, a[2] * inv)
+
+
+def vmin(a: Vec3, b: Vec3) -> Vec3:
+    """Component-wise minimum."""
+    return (min(a[0], b[0]), min(a[1], b[1]), min(a[2], b[2]))
+
+
+def vmax(a: Vec3, b: Vec3) -> Vec3:
+    """Component-wise maximum."""
+    return (max(a[0], b[0]), max(a[1], b[1]), max(a[2], b[2]))
+
+
+def lerp(a: Vec3, b: Vec3, t: float) -> Vec3:
+    """Linear interpolation between ``a`` (t=0) and ``b`` (t=1)."""
+    return add(mul(a, 1.0 - t), mul(b, t))
+
+
+def distance(a: Vec3, b: Vec3) -> float:
+    return length(sub(a, b))
+
+
+def reflect(direction: Vec3, normal: Vec3) -> Vec3:
+    """Reflect ``direction`` about ``normal`` (normal need not be unit)."""
+    n = normalize(normal)
+    return sub(direction, mul(n, 2.0 * dot(direction, n)))
+
+
+def safe_inverse(direction: Vec3) -> Vec3:
+    """Per-component reciprocal used by the slab ray/AABB test.
+
+    Zero components map to a huge finite value with the sign convention of
+    IEEE division, which keeps the slab test branch-free.
+    """
+    out = []
+    for c in direction:
+        if abs(c) < EPSILON:
+            out.append(math.copysign(1e30, c if c != 0.0 else 1.0))
+        else:
+            out.append(1.0 / c)
+    return (out[0], out[1], out[2])

@@ -1,0 +1,222 @@
+"""Set-associative / fully-associative LRU caches with MSHRs.
+
+The cache is a *tag* model: no data moves, only presence and timing.
+Misses allocate an MSHR entry; further accesses to an in-flight line
+become *pending hits* (the statistic Figure 12 breaks out).  Lines
+remember whether a prefetch or a demand load brought them in, which is
+what the Figure 20 effectiveness classification needs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from ..core.config import CacheConfig
+
+
+class AccessOutcome(Enum):
+    """What a probe found."""
+
+    HIT = "hit"
+    PENDING_HIT = "pending_hit"  # line is in flight (MSHR merge)
+    MISS = "miss"
+
+
+@dataclass
+class LineMeta:
+    """Per-resident-line metadata."""
+
+    filled_by_prefetch: bool = False
+    demand_touched: bool = False
+    fill_cycle: int = 0
+
+
+@dataclass
+class MshrEntry:
+    """An in-flight fill and the accesses waiting on it."""
+
+    line: int
+    is_prefetch: bool  # True while only prefetches want this line
+    waiters: List[Callable[[int], None]] = field(default_factory=list)
+
+
+@dataclass
+class CacheStats:
+    """Raw counters; Figure 12's bars are ratios of these."""
+
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_hits_on_prefetched: int = 0
+    demand_pending_hits: int = 0
+    demand_pending_on_prefetch: int = 0  # demand merged into prefetch fill
+    demand_misses: int = 0
+    prefetch_accesses: int = 0
+    prefetch_hits: int = 0
+    prefetch_pending_hits: int = 0
+    prefetch_misses: int = 0
+    evictions: int = 0
+    prefetched_evicted_unused: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.demand_accesses + self.prefetch_accesses
+
+
+class Cache:
+    """One cache level (tag + MSHR timing model).
+
+    The owner drives it with :meth:`probe` and :meth:`fill`; the cache
+    itself never talks to the next level — the memory system composes
+    levels explicitly so the L1/L2/DRAM path stays easy to follow.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        # set index -> line -> LineMeta, in LRU order (oldest first).
+        self._sets: Dict[int, "OrderedDict[int, LineMeta]"] = {}
+        self._mshrs: Dict[int, MshrEntry] = {}
+        #: called with the evicted line's meta whenever a line is dropped.
+        self.eviction_listener: Optional[Callable[[int, LineMeta], None]] = None
+
+    # -- geometry ---------------------------------------------------------
+
+    def line_of(self, address: int) -> int:
+        return address // self.config.line_bytes
+
+    def _set_of(self, line: int) -> int:
+        return line % self.config.n_sets
+
+    def _ways(self) -> int:
+        if self.config.associativity == 0:
+            return self.config.n_lines
+        return self.config.associativity
+
+    # -- queries ----------------------------------------------------------
+
+    def contains(self, line: int) -> bool:
+        set_map = self._sets.get(self._set_of(line))
+        return bool(set_map) and line in set_map
+
+    def in_flight(self, line: int) -> bool:
+        return line in self._mshrs
+
+    def mshr_full(self) -> bool:
+        return len(self._mshrs) >= self.config.mshr_entries
+
+    def mshr_owner_is_prefetch(self, line: int) -> Optional[bool]:
+        """True/False for an in-flight line's current owner; None if idle."""
+        entry = self._mshrs.get(line)
+        return entry.is_prefetch if entry is not None else None
+
+    def resident_lines(self) -> List[int]:
+        return [line for s in self._sets.values() for line in s]
+
+    def line_meta(self, line: int) -> Optional[LineMeta]:
+        set_map = self._sets.get(self._set_of(line))
+        if set_map is None:
+            return None
+        return set_map.get(line)
+
+    # -- operations -------------------------------------------------------
+
+    def probe(
+        self,
+        line: int,
+        is_prefetch: bool,
+        waiter: Optional[Callable[[int], None]] = None,
+    ) -> AccessOutcome:
+        """Look up ``line``, update LRU/stats, and register a waiter.
+
+        * HIT — data resident; the caller schedules the response itself
+          after the hit latency.
+        * PENDING_HIT — ``waiter`` is queued on the in-flight MSHR and
+          will be invoked at fill time.
+        * MISS — an MSHR entry is allocated (``waiter`` queued on it);
+          the caller must send the fill request down and eventually call
+          :meth:`fill`.
+        """
+        stats = self.stats
+        if is_prefetch:
+            stats.prefetch_accesses += 1
+        else:
+            stats.demand_accesses += 1
+        set_map = self._sets.setdefault(self._set_of(line), OrderedDict())
+        meta = set_map.get(line)
+        if meta is not None:
+            set_map.move_to_end(line)
+            if is_prefetch:
+                stats.prefetch_hits += 1
+            else:
+                stats.demand_hits += 1
+                if meta.filled_by_prefetch and not meta.demand_touched:
+                    stats.demand_hits_on_prefetched += 1
+                meta.demand_touched = True
+            return AccessOutcome.HIT
+        entry = self._mshrs.get(line)
+        if entry is not None:
+            if is_prefetch:
+                stats.prefetch_pending_hits += 1
+            else:
+                stats.demand_pending_hits += 1
+                if entry.is_prefetch:
+                    stats.demand_pending_on_prefetch += 1
+                    entry.is_prefetch = False  # a demand now owns the fill
+            if waiter is not None:
+                entry.waiters.append(waiter)
+            return AccessOutcome.PENDING_HIT
+        # Miss: allocate the MSHR.
+        if is_prefetch:
+            stats.prefetch_misses += 1
+        else:
+            stats.demand_misses += 1
+        entry = MshrEntry(line=line, is_prefetch=is_prefetch)
+        if waiter is not None:
+            entry.waiters.append(waiter)
+        self._mshrs[line] = entry
+        return AccessOutcome.MISS
+
+    def fill(self, line: int, cycle: int) -> List[Callable[[int], None]]:
+        """Install ``line`` (fill from below) and return its waiters.
+
+        The caller invokes/schedules the returned waiters; the cache only
+        handles residency, LRU victim selection, and fill attribution.
+        """
+        entry = self._mshrs.pop(line, None)
+        set_map = self._sets.setdefault(self._set_of(line), OrderedDict())
+        if line not in set_map:
+            if len(set_map) >= self._ways():
+                victim, victim_meta = set_map.popitem(last=False)
+                self.stats.evictions += 1
+                if victim_meta.filled_by_prefetch and not victim_meta.demand_touched:
+                    self.stats.prefetched_evicted_unused += 1
+                if self.eviction_listener is not None:
+                    self.eviction_listener(victim, victim_meta)
+            set_map[line] = LineMeta(
+                filled_by_prefetch=entry.is_prefetch if entry else False,
+                fill_cycle=cycle,
+            )
+        if entry is None:
+            return []
+        return entry.waiters
+
+    def invalidate(self, line: int) -> Optional[LineMeta]:
+        """Remove a resident line (no-op if absent); returns its meta.
+
+        Used by the stream buffer: on a demand hit the line migrates to
+        the L1, so it leaves the buffer without counting as an eviction.
+        """
+        set_map = self._sets.get(self._set_of(line))
+        if set_map is None:
+            return None
+        return set_map.pop(line, None)
+
+    def flush(self) -> None:
+        """Drop all resident lines (MSHRs must be idle)."""
+        if self._mshrs:
+            raise RuntimeError("cannot flush with fills in flight")
+        self._sets.clear()

@@ -1,0 +1,211 @@
+"""Top-level GPU: SMs with RT units over a shared memory system.
+
+``GpuModel.run`` replays a batch of per-ray traversal traces to
+completion and returns :class:`~repro.gpusim.stats.SimStats`.  The cycle
+loop fast-forwards through globally-stalled stretches (every ray waiting
+on memory, nothing queued) by jumping to the next scheduled event, which
+is what makes a pure-Python cycle model tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..bvh import FlatBVH, NodeLayout
+from ..core.config import GpuConfig
+from ..prefetch.base import Prefetcher
+from ..traversal import RayTrace
+from .event import EventQueue
+from .memsys import MemorySystem
+from .rtunit import RTUnit
+from .stats import SimStats, merge_cache_stats
+from .timeline import TimelineSampler
+from .warp import RayTask
+
+PrefetcherFactory = Callable[[int], Optional[Prefetcher]]
+
+
+class SimulationLimitError(RuntimeError):
+    """The run exceeded ``max_cycles`` (deadlock guard)."""
+
+
+class GpuModel:
+    """A configured GPU ready to replay one traversal workload."""
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        scheduler_policy: str = "baseline",
+        prefetcher_factory: Optional[PrefetcherFactory] = None,
+        enable_fast_forward: bool = True,
+        timeline: Optional[TimelineSampler] = None,
+    ) -> None:
+        self.config = config
+        #: Skip globally-stalled stretches by jumping to the next event.
+        #: Disabling this must not change any result (tests rely on it).
+        self.enable_fast_forward = enable_fast_forward
+        #: Optional occupancy sampler (observational only).
+        self.timeline = timeline
+        self.events = EventQueue()
+        self.memsys = MemorySystem(config, self.events)
+        self.units: List[RTUnit] = []
+        for sm in range(config.n_sms):
+            prefetcher = prefetcher_factory(sm) if prefetcher_factory else None
+            self.units.append(
+                RTUnit(
+                    sm,
+                    config,
+                    self.memsys,
+                    self.events,
+                    scheduler_policy=scheduler_policy,
+                    prefetcher=prefetcher,
+                )
+            )
+
+    def load(
+        self,
+        traces: Sequence[RayTrace],
+        bvh: FlatBVH,
+        layout: NodeLayout,
+    ) -> int:
+        """Pack traces into warps and distribute them over the SMs.
+
+        Rays are grouped in trace order (neighboring pixels share a warp,
+        like a real ray-generation shader) and warps round-robin across
+        SMs.  Returns the number of warps created.
+        """
+        warp_size = self.config.warp_size
+        line_bytes = self.config.l1.line_bytes
+        tasks = [
+            RayTask(trace=trace, bvh=bvh, layout=layout, line_bytes=line_bytes)
+            for trace in traces
+            if trace.visits
+        ]
+        warps = [
+            tasks[i : i + warp_size] for i in range(0, len(tasks), warp_size)
+        ]
+        for index, warp in enumerate(warps):
+            self.units[index % len(self.units)].add_warp(warp)
+        self._ray_count = getattr(self, "_ray_count", 0) + len(tasks)
+        self._warp_count = getattr(self, "_warp_count", 0) + len(warps)
+        return len(warps)
+
+    def run(self) -> SimStats:
+        """Simulate the loaded work to completion; returns cumulative stats.
+
+        May be called repeatedly: each call continues the cycle counter
+        and keeps caches warm, so ``load(); run(); load(); run()``
+        models back-to-back frames.  Statistics are cumulative across
+        calls; use :meth:`run_frame` for per-frame deltas.
+        """
+        config = self.config
+        events = self.events
+        units = self.units
+        cycle = getattr(self, "_current_cycle", 0)
+        while any(unit.busy() for unit in units):
+            if cycle > config.max_cycles:
+                raise SimulationLimitError(
+                    f"exceeded {config.max_cycles} cycles; "
+                    "likely a lost memory response"
+                )
+            events.run_due(cycle)
+            if self.timeline is not None:
+                # Sample after responses land but before the units issue,
+                # so "ready rays" reflects wake-ups rather than leftovers.
+                self.timeline.maybe_sample(cycle, units)
+            for unit in units:
+                unit.step(cycle)
+            # Fast-forward across globally idle stretches.
+            if self.enable_fast_forward and self._globally_stalled():
+                next_event = events.next_cycle()
+                if next_event is not None and next_event > cycle + 1:
+                    # The skipped cycles are stalls by construction;
+                    # account them so fast-forward stays exact.
+                    skipped = next_event - cycle - 1
+                    for unit in units:
+                        if unit.buffer:
+                            unit.stats.stall_cycles += skipped
+                    cycle = next_event
+                    continue
+                if next_event is None:
+                    # Nothing in flight and nothing ready: only possible
+                    # if we are done (checked by the loop condition).
+                    cycle += 1
+                    continue
+            cycle += 1
+        # Drain any trailing events (e.g. late prefetch fills).
+        while len(events):
+            next_event = events.next_cycle()
+            events.run_due(next_event)
+            cycle = max(cycle, next_event)
+        self._current_cycle = cycle
+        return self._collect(cycle)
+
+    def run_frame(
+        self,
+        traces: Sequence[RayTrace],
+        bvh: FlatBVH,
+        layout: NodeLayout,
+    ) -> int:
+        """Load one frame's traces, run it, and return the frame's cycles.
+
+        Caches (and the prefetcher's state) stay warm between frames —
+        the real-time rendering regime where consecutive frames revisit
+        mostly the same treelets.
+        """
+        start = getattr(self, "_current_cycle", 0)
+        self.load(traces, bvh, layout)
+        self.run()
+        return self._current_cycle - start
+
+    def _globally_stalled(self) -> bool:
+        for unit in self.units:
+            if unit.ready_total() > 0:
+                return False
+            if unit.prefetcher.queue_depth() > 0:
+                return False
+            if unit.pending_warps and len(unit.buffer) < self.config.warp_buffer_size:
+                return False
+        return True
+
+    def _collect(self, cycles: int) -> SimStats:
+        stats = SimStats(cycles=max(1, cycles))
+        stats.ray_count = getattr(self, "_ray_count", 0)
+        stats.warp_count = getattr(self, "_warp_count", 0)
+        warp_latency = 0
+        warps_retired = 0
+        for unit in self.units:
+            stats.visits_completed += unit.stats.visits_completed
+            stats.node_fetches += unit.stats.node_fetches_issued
+            stats.primitive_fetches += unit.stats.primitive_fetches_issued
+            stats.prefetches_issued += unit.stats.prefetches_issued
+            stats.busy_cycles += unit.stats.busy_cycles
+            stats.stall_cycles += unit.stats.stall_cycles
+            warp_latency += unit.stats.warp_latency_total
+            warps_retired += unit.stats.warps_retired
+        if warps_retired:
+            stats.warp_latency_avg = warp_latency / warps_retired
+        memsys = self.memsys
+        stats.avg_node_demand_latency = memsys.node_demand_latency.average
+        stats.avg_demand_latency = memsys.all_demand_latency.average
+        stats.dram_utilization = memsys.dram.stats.utilization(stats.cycles)
+        stats.dram_accesses = memsys.dram.stats.accesses
+        stats.dram_imbalance = memsys.dram.stats.imbalance()
+        stats.dram_per_partition = list(memsys.dram.stats.per_partition_accesses)
+        stats.l2_bytes = memsys.l2_traffic.total_bytes
+        stats.l2_demand_accesses = memsys.l2_traffic.demand_accesses
+        stats.l2_prefetch_accesses = memsys.l2_traffic.prefetch_accesses
+        stats.stream_buffer_hits = memsys.stream_buffer_hits
+        stats.l1 = merge_cache_stats([l1.stats for l1 in memsys.l1s])
+        stats.l2 = memsys.l2.stats
+        stats.effectiveness = memsys.finalize()
+        decisions = 0
+        agreements = 0
+        for unit in self.units:
+            voter = getattr(unit.prefetcher, "voter", None)
+            if voter is not None:
+                decisions += voter.stats.decisions
+                agreements += voter.stats.agreements
+        stats.voter_decisions = decisions
+        stats.voter_accuracy = (agreements / decisions) if decisions else 0.0
+        return stats

@@ -1,0 +1,344 @@
+"""The L1 -> L2 -> DRAM request path.
+
+One private L1 per SM, a shared L2, and partitioned DRAM, glued together
+over the event queue.  This module owns all memory *timing*; the caches
+themselves are pure tag models.
+
+Latency accounting matches the paper's reporting: the "memory latency of
+demand loads" (Figure 1b) is measured from RT-unit issue to response,
+for demand accesses to BVH node data.
+
+Two prefetch destinations are modeled (``GpuConfig.prefetch_destination``):
+
+* ``"l1"`` — prefetched lines fill the L1 directly (the paper's RT-unit
+  prefetcher).
+* ``"stream"`` — prefetched lines fill a small per-SM stream buffer
+  probed on L1 misses; a buffer hit migrates the line into the L1
+  (Jouppi-style, Section 2.3).  This trades pollution for an extra
+  transfer step and is compared in ``bench_ablation_destination``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..core.config import GpuConfig
+from ..prefetch.effectiveness import PrefetchEffectivenessTracker
+from .cache import AccessOutcome, Cache, LineMeta
+from .dram import Dram
+from .event import EventQueue
+
+ResponseCallback = Callable[[int], None]
+
+#: Address-region tags used for statistics.
+REGION_NODE = "node"
+REGION_PRIMITIVE = "primitive"
+REGION_MAPPING = "mapping"
+
+
+@dataclass
+class LatencyStats:
+    """Issue-to-response latency accumulator."""
+
+    total_cycles: int = 0
+    count: int = 0
+
+    def record(self, latency: int) -> None:
+        self.total_cycles += latency
+        self.count += 1
+
+    @property
+    def average(self) -> float:
+        return self.total_cycles / self.count if self.count else 0.0
+
+
+@dataclass
+class L2TrafficStats:
+    """Traffic arriving at L2 (the Figure 11 'L2 BW' numerator)."""
+
+    demand_accesses: int = 0
+    prefetch_accesses: int = 0
+    line_bytes: int = 128
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.demand_accesses + self.prefetch_accesses) * self.line_bytes
+
+
+def _snapshot(meta: Optional[LineMeta]) -> Optional[LineMeta]:
+    """Copy a LineMeta so trackers see pre-probe state (probe mutates)."""
+    if meta is None:
+        return None
+    return LineMeta(
+        filled_by_prefetch=meta.filled_by_prefetch,
+        demand_touched=meta.demand_touched,
+        fill_cycle=meta.fill_cycle,
+    )
+
+
+class MemorySystem:
+    """Per-GPU memory hierarchy shared by all RT units."""
+
+    def __init__(self, config: GpuConfig, events: EventQueue) -> None:
+        self.config = config
+        self.events = events
+        self.l1s: List[Cache] = [
+            Cache(config.l1, name=f"L1[{sm}]") for sm in range(config.n_sms)
+        ]
+        self.l2 = Cache(config.l2, name="L2")
+        self.dram = Dram(config.dram)
+        self.node_demand_latency = LatencyStats()
+        self.all_demand_latency = LatencyStats()
+        self.l2_traffic = L2TrafficStats(line_bytes=config.l2.line_bytes)
+        self.trackers: List[PrefetchEffectivenessTracker] = [
+            PrefetchEffectivenessTracker() for _ in range(config.n_sms)
+        ]
+        for sm, l1 in enumerate(self.l1s):
+            l1.eviction_listener = self.trackers[sm].on_eviction
+        self.uses_stream_buffers = config.prefetch_destination == "stream"
+        self.stream_buffers: List[Cache] = []
+        self.stream_buffer_hits = 0
+        if self.uses_stream_buffers:
+            self.stream_buffers = [
+                Cache(config.stream_buffer, name=f"SB[{sm}]")
+                for sm in range(config.n_sms)
+            ]
+            for sm, buffer in enumerate(self.stream_buffers):
+                buffer.eviction_listener = self.trackers[sm].on_eviction
+
+    # -- public API ---------------------------------------------------------
+
+    def can_accept(self, sm: int) -> bool:
+        """Whether the SM's L1 has an MSHR free (misses can be absorbed)."""
+        return not self.l1s[sm].mshr_full()
+
+    def access(
+        self,
+        sm: int,
+        address: int,
+        cycle: int,
+        is_prefetch: bool = False,
+        region: str = REGION_NODE,
+        callback: Optional[ResponseCallback] = None,
+    ) -> AccessOutcome:
+        """Issue one line access from SM ``sm`` at ``cycle``.
+
+        ``callback(done_cycle)`` fires when the data is available at the
+        RT unit.  Prefetches usually pass no callback.  The return value
+        is the first-level probe outcome (tests use it).
+        """
+        if is_prefetch and self.uses_stream_buffers:
+            return self._prefetch_into_stream(sm, address, cycle, callback)
+        responder = callback
+        if not is_prefetch and callback is not None:
+            responder = self._latency_recorder(cycle, region, callback)
+        return self._l1_access(sm, address, cycle, is_prefetch, responder)
+
+    def drain_complete(self) -> bool:
+        """True when no fills are in flight anywhere."""
+        caches = self.l1s + self.stream_buffers + [self.l2]
+        return not any(cache._mshrs for cache in caches)
+
+    def finalize(self):
+        """Close out effectiveness episodes; returns merged counts."""
+        from ..prefetch.effectiveness import EffectivenessCounts
+
+        merged = EffectivenessCounts()
+        for tracker in self.trackers:
+            merged.merge(tracker.finalize())
+        return merged
+
+    # -- L1 path --------------------------------------------------------------
+
+    def _l1_access(
+        self,
+        sm: int,
+        address: int,
+        cycle: int,
+        is_prefetch: bool,
+        responder: Optional[ResponseCallback],
+    ) -> AccessOutcome:
+        l1 = self.l1s[sm]
+        tracker = self.trackers[sm]
+        line = l1.line_of(address)
+        prior_meta = _snapshot(l1.line_meta(line))
+        prior_owner = l1.mshr_owner_is_prefetch(line)
+
+        outcome = l1.probe(line, is_prefetch, waiter=responder)
+        if is_prefetch:
+            tracker.on_prefetch_probe(line, outcome, prior_meta, prior_owner)
+        else:
+            tracker.on_demand_probe(line, outcome, prior_meta, prior_owner)
+
+        if outcome is AccessOutcome.HIT:
+            if responder is not None:
+                self.events.schedule(cycle + self.config.l1.latency, responder)
+        elif outcome is AccessOutcome.MISS:
+            if not is_prefetch and self.uses_stream_buffers:
+                # The stream buffer may already hold (or be fetching)
+                # this line; intercept before going below.
+                if self._demand_checks_stream(sm, address, line, cycle):
+                    return outcome
+            # Tag-check time at L1, then go below.
+            self.events.schedule(
+                cycle + self.config.l1.latency,
+                lambda at, a=address, s=sm, p=is_prefetch: self._to_l2(
+                    s, a, p, at, target="l1"
+                ),
+            )
+        # PENDING_HIT: the waiter is parked on the MSHR; nothing to do.
+        return outcome
+
+    # -- stream-buffer path -----------------------------------------------------
+
+    def _prefetch_into_stream(
+        self,
+        sm: int,
+        address: int,
+        cycle: int,
+        callback: Optional[ResponseCallback],
+    ) -> AccessOutcome:
+        """Prefetch probe when the destination is the stream buffer."""
+        l1 = self.l1s[sm]
+        buffer = self.stream_buffers[sm]
+        tracker = self.trackers[sm]
+        line = l1.line_of(address)
+        # Already covered by the L1 (resident or in flight)?  Classify
+        # without disturbing the L1's LRU state.
+        l1_meta = l1.line_meta(line)
+        if l1_meta is not None:
+            tracker.on_prefetch_probe(
+                line, AccessOutcome.HIT, _snapshot(l1_meta), None
+            )
+            if callback is not None:
+                self.events.schedule(cycle + self.config.l1.latency, callback)
+            return AccessOutcome.HIT
+        l1_owner = l1.mshr_owner_is_prefetch(line)
+        if l1_owner is not None:
+            tracker.on_prefetch_probe(
+                line, AccessOutcome.PENDING_HIT, None, l1_owner
+            )
+            if callback is not None:
+                l1.probe(line, is_prefetch=True, waiter=callback)
+            return AccessOutcome.PENDING_HIT
+        prior_meta = _snapshot(buffer.line_meta(line))
+        prior_owner = buffer.mshr_owner_is_prefetch(line)
+        outcome = buffer.probe(line, is_prefetch=True, waiter=callback)
+        tracker.on_prefetch_probe(line, outcome, prior_meta, prior_owner)
+        if outcome is AccessOutcome.HIT:
+            if callback is not None:
+                self.events.schedule(
+                    cycle + self.config.stream_buffer.latency, callback
+                )
+        elif outcome is AccessOutcome.MISS:
+            self.events.schedule(
+                cycle + self.config.stream_buffer.latency,
+                lambda at, a=address, s=sm: self._to_l2(
+                    s, a, True, at, target="stream"
+                ),
+            )
+        return outcome
+
+    def _demand_checks_stream(
+        self, sm: int, address: int, line: int, cycle: int
+    ) -> bool:
+        """On an L1 demand miss, try the stream buffer.
+
+        Returns True when the stream buffer covers the request (resident
+        or in flight); the L1 MSHR allocated by the caller is serviced by
+        a buffer-to-L1 transfer instead of an L2 fill.
+        """
+        buffer = self.stream_buffers[sm]
+        tracker = self.trackers[sm]
+        meta = buffer.line_meta(line)
+        if meta is not None:
+            tracker.on_demand_probe(
+                line, AccessOutcome.HIT, _snapshot(meta), None
+            )
+            buffer.invalidate(line)
+            self.stream_buffer_hits += 1
+            # One buffer-access latency for the transfer, then the line
+            # lands in L1 and the parked waiters get their data.
+            self.events.schedule(
+                cycle + self.config.stream_buffer.latency,
+                lambda at, s=sm, ln=line: self._fill_l1(s, ln, at),
+            )
+            return True
+        owner = buffer.mshr_owner_is_prefetch(line)
+        if owner is not None:
+            tracker.on_demand_probe(
+                line, AccessOutcome.PENDING_HIT, None, owner
+            )
+            self.stream_buffer_hits += 1
+
+            def transfer(at: int, s=sm, ln=line) -> None:
+                self.stream_buffers[s].invalidate(ln)
+                self._fill_l1(s, ln, at)
+
+            buffer.probe(line, is_prefetch=False, waiter=transfer)
+            return True
+        return False
+
+    # -- internals ----------------------------------------------------------
+
+    def _latency_recorder(
+        self, issue_cycle: int, region: str, callback: ResponseCallback
+    ) -> ResponseCallback:
+        def respond(done_cycle: int) -> None:
+            latency = done_cycle - issue_cycle
+            self.all_demand_latency.record(latency)
+            if region == REGION_NODE:
+                self.node_demand_latency.record(latency)
+            callback(done_cycle)
+
+        return respond
+
+    def _fill_l1(self, sm: int, line: int, cycle: int) -> None:
+        tracker = self.trackers[sm]
+        was_prefetch = self.l1s[sm].mshr_owner_is_prefetch(line)
+        waiters = self.l1s[sm].fill(line, cycle)
+        tracker.on_fill(line, bool(was_prefetch))
+        for waiter in waiters:
+            waiter(cycle)
+
+    def _fill_stream(self, sm: int, line: int, cycle: int) -> None:
+        tracker = self.trackers[sm]
+        buffer = self.stream_buffers[sm]
+        was_prefetch = buffer.mshr_owner_is_prefetch(line)
+        waiters = buffer.fill(line, cycle)
+        tracker.on_fill(line, bool(was_prefetch))
+        for waiter in waiters:
+            waiter(cycle)
+
+    def _to_l2(
+        self, sm: int, address: int, is_prefetch: bool, cycle: int,
+        target: str = "l1",
+    ) -> None:
+        line = self.l2.line_of(address)
+        if is_prefetch:
+            self.l2_traffic.prefetch_accesses += 1
+        else:
+            self.l2_traffic.demand_accesses += 1
+
+        if target == "l1":
+            def fill_upper(at: int, s=sm, ln=line) -> None:
+                self._fill_l1(s, ln, at)
+        else:
+            def fill_upper(at: int, s=sm, ln=line) -> None:
+                self._fill_stream(s, ln, at)
+
+        outcome = self.l2.probe(line, is_prefetch, waiter=fill_upper)
+        if outcome is AccessOutcome.HIT:
+            self.events.schedule(cycle + self.config.l2.latency, fill_upper)
+        elif outcome is AccessOutcome.MISS:
+            # L2 tag check, then DRAM; DRAM completion fills L2 then up.
+            request_cycle = cycle + self.config.l2.latency
+            done = self.dram.service(address, request_cycle)
+
+            def fill_l2(at: int, ln=line) -> None:
+                for waiter in self.l2.fill(ln, at):
+                    waiter(at)
+
+            self.events.schedule(done, fill_l2)
+        # PENDING_HIT: fill_upper is parked on the L2 MSHR.

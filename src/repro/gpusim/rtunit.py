@@ -1,0 +1,250 @@
+"""The RT unit: warp buffer, memory scheduler, op units, prefetch port.
+
+Per cycle the unit (1) admits one pending warp into the warp buffer if
+there is space, (2) lets the warp scheduler pick a warp and issues up to
+``mem_ports`` coalesced demand line loads for its ready rays, (3) issues
+one queued prefetch if a port is left over ("when the memory scheduler
+is not busy servicing demand loads"), and (4) ticks the prefetcher's
+decision logic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.config import GpuConfig
+from ..prefetch.base import Prefetcher
+from .event import EventQueue
+from .memsys import MemorySystem, REGION_NODE, REGION_PRIMITIVE
+from .scheduler import select_warp
+from .warp import RayState, RayTask, WarpSlot
+
+
+@dataclass
+class RTUnitStats:
+    node_fetches_issued: int = 0
+    primitive_fetches_issued: int = 0
+    prefetches_issued: int = 0
+    visits_completed: int = 0
+    warps_retired: int = 0
+    warp_latency_total: int = 0
+    busy_cycles: int = 0  # cycles with at least one demand issue
+    stall_cycles: int = 0  # cycles with resident warps but no ready ray
+
+
+class RTUnit:
+    """One SM's ray tracing accelerator."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GpuConfig,
+        memsys: MemorySystem,
+        events: EventQueue,
+        scheduler_policy: str = "baseline",
+        prefetcher: Optional[Prefetcher] = None,
+    ) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.memsys = memsys
+        self.events = events
+        self.scheduler_policy = scheduler_policy
+        self.prefetcher = prefetcher or Prefetcher()
+        self.pending_warps: Deque[List[RayTask]] = deque()
+        self.buffer: List[WarpSlot] = []
+        self.stats = RTUnitStats()
+        self._next_warp_id = 0
+        #: bumped whenever warp-buffer vote state changes (voter gate).
+        self.vote_version = 0
+
+    # -- workload loading -------------------------------------------------
+
+    def add_warp(self, rays: List[RayTask]) -> None:
+        if len(rays) > self.config.warp_size:
+            raise ValueError("warp exceeds the warp size")
+        self.pending_warps.append(rays)
+
+    def busy(self) -> bool:
+        return bool(self.pending_warps) or bool(self.buffer)
+
+    def ready_total(self) -> int:
+        return sum(warp.ready_count for warp in self.buffer)
+
+    # -- per-cycle step -----------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        # (1) Admit one pending warp per cycle into free buffer slots.
+        if self.pending_warps and len(self.buffer) < self.config.warp_buffer_size:
+            rays = self.pending_warps.popleft()
+            slot = WarpSlot(self._next_warp_id, rays, cycle)
+            self._next_warp_id += 1
+            if slot.done:  # degenerate warp of empty traces
+                self.stats.warps_retired += 1
+            else:
+                self.buffer.append(slot)
+                self.vote_version += 1
+        # (2) Demand issue from the scheduled warp.
+        issued = 0
+        warp = select_warp(
+            self.scheduler_policy,
+            self.buffer,
+            self.prefetcher.last_prefetched_treelet,
+        )
+        if warp is not None and self.memsys.can_accept(self.sm_id):
+            issued = self._issue_demand(warp, cycle)
+            if issued:
+                self.stats.busy_cycles += 1
+        elif self.buffer:
+            # Warps resident but every ray is waiting on memory or the
+            # op units: the latency-bound stall the paper targets.
+            self.stats.stall_cycles += 1
+        # (3) One prefetch on a leftover port.
+        if issued < self.config.mem_ports:
+            request = self.prefetcher.pop_prefetch(cycle)
+            if request is not None:
+                self.stats.prefetches_issued += 1
+                self.memsys.access(
+                    self.sm_id,
+                    request.address,
+                    cycle,
+                    is_prefetch=True,
+                    region=request.region,
+                    callback=request.on_complete,
+                )
+        # (4) Prefetcher decision logic (+ effectiveness feedback for
+        # adaptive throttles).
+        self.prefetcher.on_feedback(
+            cycle, self.memsys.trackers[self.sm_id].counts
+        )
+        self.prefetcher.on_cycle(cycle, self.buffer, self.vote_version)
+
+    # -- demand path --------------------------------------------------------
+
+    def _issue_demand(self, warp: WarpSlot, cycle: int) -> int:
+        """Issue coalesced line loads for the warp's ready rays.
+
+        Rays of one warp touching the same line in the same cycle share a
+        single L1 access (the GPU coalescer).  Returns lines issued.
+        """
+        ports = self.config.mem_ports
+        node_groups: Dict[int, Tuple[int, List[RayTask]]] = {}
+        prim_groups: Dict[int, Tuple[int, List[RayTask]]] = {}
+        line_bytes = self.config.l1.line_bytes
+
+        def claim(groups: Dict, address: int) -> Optional[List[RayTask]]:
+            line = address // line_bytes
+            if line in groups:
+                return groups[line][1]
+            if len(node_groups) + len(prim_groups) >= ports:
+                return None
+            groups[line] = (address, [])
+            return groups[line][1]
+
+        for ray in warp.rays:
+            if ray.state is RayState.FETCH_READY:
+                address = ray.current_node_address()
+                members = claim(node_groups, address)
+                if members is None:
+                    continue
+                members.append(ray)
+                warp.note_unready(ray, ray.current_treelet())
+                ray.state = RayState.WAIT_NODE
+            elif ray.state is RayState.PRIM_READY and ray.prim_lines_pending:
+                while ray.prim_lines_pending:
+                    address = ray.prim_lines_pending[0]
+                    members = claim(prim_groups, address)
+                    if members is None:
+                        break
+                    ray.prim_lines_pending.pop(0)
+                    ray.prim_lines_outstanding += 1
+                    members.append(ray)
+                if not ray.prim_lines_pending:
+                    warp.note_unready(ray, ray.current_treelet())
+                    ray.state = RayState.WAIT_PRIM
+
+        for line, (address, rays) in node_groups.items():
+            self.stats.node_fetches_issued += 1
+            self.prefetcher.on_demand_issue(warp.warp_id, address, cycle)
+            self.memsys.access(
+                self.sm_id,
+                address,
+                cycle,
+                region=REGION_NODE,
+                callback=self._node_response(warp, list(rays)),
+            )
+        for line, (address, rays) in prim_groups.items():
+            self.stats.primitive_fetches_issued += 1
+            self.prefetcher.on_demand_issue(warp.warp_id, address, cycle)
+            self.memsys.access(
+                self.sm_id,
+                address,
+                cycle,
+                region=REGION_PRIMITIVE,
+                callback=self._prim_response(warp, list(rays)),
+            )
+        return len(node_groups) + len(prim_groups)
+
+    # -- response / op-unit path ---------------------------------------------
+
+    def _node_response(self, warp: WarpSlot, rays: List[RayTask]):
+        def on_data(cycle: int) -> None:
+            for ray in rays:
+                self._node_data_arrived(warp, ray, cycle)
+
+        return on_data
+
+    def _prim_response(self, warp: WarpSlot, rays: List[RayTask]):
+        def on_data(cycle: int) -> None:
+            for ray in rays:
+                ray.prim_lines_outstanding -= 1
+                if (
+                    ray.state is RayState.WAIT_PRIM
+                    and ray.prim_lines_outstanding == 0
+                ):
+                    self._start_test(
+                        warp, ray, cycle, self.config.primitive_test_latency
+                    )
+
+        return on_data
+
+    def _node_data_arrived(self, warp: WarpSlot, ray: RayTask, cycle: int) -> None:
+        visit = ray.current_visit()
+        if visit.is_leaf and visit.primitive_count > 0:
+            ray.prim_lines_pending = ray.primitive_lines()
+            ray.prim_lines_outstanding = 0
+            ray.state = RayState.PRIM_READY
+            warp.note_ready(ray)
+        else:
+            self._start_test(warp, ray, cycle, self.config.box_test_latency)
+
+    def _start_test(
+        self, warp: WarpSlot, ray: RayTask, cycle: int, latency: int
+    ) -> None:
+        ray.state = RayState.TESTING
+        self.events.schedule(
+            cycle + latency, lambda at: self._test_done(warp, ray, at)
+        )
+
+    def _test_done(self, warp: WarpSlot, ray: RayTask, cycle: int) -> None:
+        old_vote = ray.lookahead_treelet()
+        self.stats.visits_completed += 1
+        ray.advance()
+        if ray.done:
+            warp.note_ray_done(old_vote)
+            if old_vote != -1:
+                self.vote_version += 1
+            if warp.done:
+                self._retire(warp, cycle)
+        else:
+            new_vote = ray.lookahead_treelet()
+            if new_vote != old_vote:
+                warp.note_vote_change(old_vote, new_vote)
+                self.vote_version += 1
+            warp.note_ready(ray)
+
+    def _retire(self, warp: WarpSlot, cycle: int) -> None:
+        self.buffer.remove(warp)
+        self.stats.warps_retired += 1
+        self.stats.warp_latency_total += cycle - warp.entry_cycle

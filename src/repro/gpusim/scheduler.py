@@ -1,0 +1,53 @@
+"""RT unit warp scheduling policies (Section 4.3).
+
+* **BASELINE** — oldest warp with any issue-ready ray; drains the oldest
+  warp to free warp-buffer space quickly.
+* **OMR** (Oldest warp with Matching Ray) — oldest warp with a ready ray
+  whose next treelet matches the most recently prefetched treelet;
+  falls back to BASELINE when none matches.
+* **PMR** (Prioritize Most Rays) — the warp with the most ready rays
+  matching the prefetched treelet; falls back to BASELINE.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .warp import WarpSlot
+
+SCHEDULER_NAMES = ("baseline", "omr", "pmr")
+
+
+def select_warp(
+    policy: str,
+    warps: List[WarpSlot],
+    prefetched_treelet: Optional[int],
+) -> Optional[WarpSlot]:
+    """Pick the warp the memory scheduler serves this cycle.
+
+    ``warps`` must be in age order (oldest first).  Returns None when no
+    warp has an issue-ready ray.
+    """
+    if policy not in SCHEDULER_NAMES:
+        raise ValueError(f"unknown scheduler policy {policy!r}")
+    candidates = [warp for warp in warps if warp.ready_count > 0]
+    if not candidates:
+        return None
+    if policy == "baseline" or prefetched_treelet is None:
+        return candidates[0]
+    if policy == "omr":
+        for warp in candidates:
+            if warp.ready_treelet_counts.get(prefetched_treelet, 0) > 0:
+                return warp
+        return candidates[0]
+    # PMR: maximize matching ready rays; age breaks ties.
+    best = max(
+        range(len(candidates)),
+        key=lambda i: (
+            candidates[i].ready_treelet_counts.get(prefetched_treelet, 0),
+            -i,
+        ),
+    )
+    if candidates[best].ready_treelet_counts.get(prefetched_treelet, 0) == 0:
+        return candidates[0]
+    return candidates[best]

@@ -1,0 +1,65 @@
+"""Optional timeline sampling for the GPU model.
+
+A :class:`TimelineSampler` snapshots per-SM occupancy (ready rays,
+resident warps, outstanding prefetch-queue depth) at a fixed cycle
+interval, giving a coarse time-series view of where a run spends its
+cycles.  The sampler is pull-based and cheap (a few counter reads per
+sample), and it is *observational only*: attaching one must not change
+any simulation result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One snapshot of GPU occupancy."""
+
+    cycle: int
+    ready_rays: int
+    resident_warps: int
+    prefetch_queue_depth: int
+
+
+@dataclass
+class TimelineSampler:
+    """Collects :class:`TimelineSample` every ``interval`` cycles."""
+
+    interval: int = 64
+    samples: List[TimelineSample] = field(default_factory=list)
+    _next_sample: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError("sampling interval must be positive")
+
+    def maybe_sample(self, cycle: int, units: Sequence) -> None:
+        """Record a sample when the interval has elapsed.
+
+        ``units`` are RT units exposing ``ready_total()``, ``buffer``,
+        and ``prefetcher.queue_depth()``.
+        """
+        if cycle < self._next_sample:
+            return
+        self._next_sample = cycle + self.interval
+        self.samples.append(
+            TimelineSample(
+                cycle=cycle,
+                ready_rays=sum(unit.ready_total() for unit in units),
+                resident_warps=sum(len(unit.buffer) for unit in units),
+                prefetch_queue_depth=sum(
+                    unit.prefetcher.queue_depth() for unit in units
+                ),
+            )
+        )
+
+    def series(self, attribute: str) -> List[int]:
+        """One attribute across all samples, e.g. ``series('ready_rays')``."""
+        return [getattr(sample, attribute) for sample in self.samples]
+
+    def mean(self, attribute: str) -> float:
+        values = self.series(attribute)
+        return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,202 @@
+"""Per-ray and per-warp state inside the RT unit's warp buffer.
+
+A :class:`RayTask` replays one ray's traversal trace: fetch the next
+node, run the box/primitive tests, advance.  Successive node fetches are
+*dependent* (pointer chasing) — visit ``i+1`` cannot issue until visit
+``i`` has been fetched and tested — which is exactly the serialization
+treelet prefetching attacks.
+
+A :class:`WarpSlot` groups up to 32 ray tasks and maintains the treelet
+occupancy counters the majority voter and the treelet schedulers read.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..bvh import FlatBVH, NodeLayout, PRIMITIVE_SIZE_BYTES
+from ..traversal import RayTrace
+
+
+class RayState(Enum):
+    FETCH_READY = "fetch_ready"  # next node load can issue
+    WAIT_NODE = "wait_node"  # node load outstanding
+    PRIM_READY = "prim_ready"  # leaf primitive loads can issue
+    WAIT_PRIM = "wait_prim"  # primitive loads outstanding
+    TESTING = "testing"  # op units busy on this ray
+    DONE = "done"
+
+
+@dataclass
+class RayTask:
+    """One ray's traversal replay state."""
+
+    trace: RayTrace
+    bvh: FlatBVH
+    layout: NodeLayout
+    line_bytes: int
+    cursor: int = 0
+    state: RayState = RayState.FETCH_READY
+    prim_lines_pending: List[int] = field(default_factory=list)
+    prim_lines_outstanding: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.trace.visits:
+            self.state = RayState.DONE
+        self._lookahead = self._build_lookahead()
+
+    def _build_lookahead(self) -> List[int]:
+        """For each visit, the next *different* treelet the ray will enter.
+
+        Hardware knows this from the top of the ray's otherTreeletStack;
+        the trace model recovers it by scanning the visit sequence.  The
+        majority voter votes on this lookahead so prefetches lead demand
+        by one treelet transit.
+        """
+        visits = self.trace.visits
+        n = len(visits)
+        treelets = [self.layout.treelet_of(v.node_id) for v in visits]
+        lookahead = [-1] * n
+        for index in range(n - 2, -1, -1):
+            if treelets[index + 1] != treelets[index]:
+                lookahead[index] = treelets[index + 1]
+            else:
+                lookahead[index] = lookahead[index + 1]
+        return lookahead
+
+    @property
+    def done(self) -> bool:
+        return self.state is RayState.DONE
+
+    def current_visit(self):
+        return self.trace.visits[self.cursor]
+
+    def current_node_address(self) -> int:
+        return self.layout.address_of(self.current_visit().node_id)
+
+    def current_treelet(self) -> int:
+        """Treelet of the node this ray is fetching / about to fetch."""
+        if self.done:
+            return -1
+        return self.layout.treelet_of(self.current_visit().node_id)
+
+    def lookahead_treelet(self) -> int:
+        """The next *different* treelet this ray will enter (-1 if none).
+
+        This is the voter's input: it corresponds to the treelet root on
+        top of the ray's otherTreeletStack, so prefetching it runs one
+        treelet transit ahead of the ray's demand stream.
+        """
+        if self.done:
+            return -1
+        return self._lookahead[self.cursor]
+
+    def primitive_lines(self) -> List[int]:
+        """Distinct line addresses covering the current leaf's triangles."""
+        visit = self.current_visit()
+        node = self.bvh.node(visit.node_id)
+        lines = []
+        for prim_id in node.primitive_ids:
+            addr = self.layout.primitive_address(prim_id)
+            first = addr // self.line_bytes
+            last = (addr + PRIMITIVE_SIZE_BYTES - 1) // self.line_bytes
+            lines.extend(range(first, last + 1))
+        # Deduplicate, preserving order.
+        seen = set()
+        unique = []
+        for line in lines:
+            if line not in seen:
+                seen.add(line)
+                unique.append(line)
+        return [line * self.line_bytes for line in unique]
+
+    def advance(self) -> None:
+        """Move past the current visit (all its work is complete)."""
+        self.cursor += 1
+        if self.cursor >= len(self.trace.visits):
+            self.state = RayState.DONE
+        else:
+            self.state = RayState.FETCH_READY
+
+
+class WarpSlot:
+    """One warp-buffer entry: up to ``warp_size`` ray tasks plus counters.
+
+    ``alive_treelet_counts`` counts, per treelet, unfinished rays whose
+    *lookahead* (next different) treelet is that treelet — the majority
+    voter's input.  ``ready_treelet_counts`` counts issue-ready rays by
+    the treelet of their *current* fetch target — the treelet
+    schedulers' input (those rays benefit from the prefetched treelet
+    right now).
+    """
+
+    def __init__(self, warp_id: int, rays: List[RayTask], entry_cycle: int) -> None:
+        self.warp_id = warp_id
+        self.rays = rays
+        self.entry_cycle = entry_cycle
+        self.alive_treelet_counts: Dict[int, int] = defaultdict(int)
+        self.ready_treelet_counts: Dict[int, int] = defaultdict(int)
+        self.ready_count = 0
+        self.done_count = 0
+        for ray in rays:
+            if ray.done:
+                self.done_count += 1
+                continue
+            vote = ray.lookahead_treelet()
+            if vote != -1:
+                self.alive_treelet_counts[vote] += 1
+            if ray.state is RayState.FETCH_READY:
+                self.ready_count += 1
+                self.ready_treelet_counts[ray.current_treelet()] += 1
+
+    @property
+    def done(self) -> bool:
+        return self.done_count >= len(self.rays)
+
+    # -- counter maintenance (called by the RT unit on transitions) ------
+
+    def note_ready(self, ray: RayTask) -> None:
+        self.ready_count += 1
+        self.ready_treelet_counts[ray.current_treelet()] += 1
+
+    def note_unready(self, ray: RayTask, treelet: int) -> None:
+        self.ready_count -= 1
+        self._dec(self.ready_treelet_counts, treelet)
+
+    def note_vote_change(self, old: int, new: int) -> None:
+        """The ray's lookahead treelet moved from ``old`` to ``new``."""
+        if old != -1:
+            self._dec(self.alive_treelet_counts, old)
+        if new != -1:
+            self.alive_treelet_counts[new] += 1
+
+    def note_ray_done(self, old_vote: int) -> None:
+        if old_vote != -1:
+            self._dec(self.alive_treelet_counts, old_vote)
+        self.done_count += 1
+
+    @staticmethod
+    def _dec(counts: Dict[int, int], key: int) -> None:
+        counts[key] -= 1
+        if counts[key] <= 0:
+            del counts[key]
+
+    def ready_rays(self) -> List[RayTask]:
+        return [
+            ray
+            for ray in self.rays
+            if ray.state in (RayState.FETCH_READY, RayState.PRIM_READY)
+        ]
+
+    def winner_treelet(self) -> Optional[int]:
+        """This warp's most common next-treelet (the level-1 voter)."""
+        if not self.alive_treelet_counts:
+            return None
+        # Deterministic tie-break: highest count, then lowest treelet id.
+        return min(
+            self.alive_treelet_counts,
+            key=lambda t: (-self.alive_treelet_counts[t], t),
+        )

@@ -1,0 +1,5 @@
+"""Activity-counter power model."""
+
+from .model import EnergyModel, PowerReport, evaluate_power
+
+__all__ = ["EnergyModel", "PowerReport", "evaluate_power"]

@@ -1,0 +1,97 @@
+"""Self-tuning prefetch throttle (the paper's Section 7.1 suggestion).
+
+"Liu et al. propose a self-tuning adaptive prefetcher to dynamically
+adjust prefetch modes, which could be applied to prefetch heuristics."
+This module implements that idea for the treelet prefetcher: a
+feedback controller samples the prefetch-effectiveness counters every
+epoch and moves the popularity threshold up when prefetches are being
+wasted (early/unused dominate) and down when they are useful (timely
+dominates), sweeping between ALWAYS-like and strongly-throttled
+behavior at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .effectiveness import EffectivenessCounts
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Controller knobs."""
+
+    epoch_cycles: int = 512
+    step: float = 0.125
+    useful_target: float = 0.5  # timely+late share above which we open up
+    wasted_limit: float = 0.5  # early+unused share above which we throttle
+    min_threshold: float = 0.0
+    max_threshold: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.epoch_cycles < 1:
+            raise ValueError("epoch must be at least one cycle")
+        if not 0.0 < self.step <= 1.0:
+            raise ValueError("step must be in (0, 1]")
+        if not 0.0 <= self.min_threshold <= self.max_threshold <= 1.0:
+            raise ValueError("thresholds must satisfy 0 <= min <= max <= 1")
+
+
+class AdaptiveThrottle:
+    """Feedback controller over the popularity threshold.
+
+    The owner samples it every cycle with the current (cumulative)
+    effectiveness counters; at each epoch boundary the controller looks
+    at the delta since the previous epoch and nudges the threshold.
+    """
+
+    def __init__(self, config: AdaptiveConfig = AdaptiveConfig()) -> None:
+        self.config = config
+        self.threshold = config.min_threshold
+        self._next_epoch = config.epoch_cycles
+        self._last = EffectivenessCounts()
+        self.adjustments = 0
+
+    def on_cycle(self, cycle: int, counts: EffectivenessCounts) -> None:
+        """Advance the controller; ``counts`` are cumulative."""
+        if cycle < self._next_epoch:
+            return
+        self._next_epoch = cycle + self.config.epoch_cycles
+        delta_issued = counts.issued - self._last.issued
+        if delta_issued <= 0:
+            return  # no prefetch activity this epoch; keep the setting
+        useful = (
+            (counts.timely - self._last.timely)
+            + (counts.late - self._last.late)
+        ) / delta_issued
+        wasted = (
+            (counts.early - self._last.early)
+            + (counts.unused - self._last.unused)
+        ) / delta_issued
+        self._last = EffectivenessCounts(
+            timely=counts.timely,
+            late=counts.late,
+            too_late=counts.too_late,
+            early=counts.early,
+            unused=counts.unused,
+            redundant=counts.redundant,
+        )
+        config = self.config
+        if wasted > config.wasted_limit:
+            new = min(config.max_threshold, self.threshold + config.step)
+        elif useful > config.useful_target:
+            new = max(config.min_threshold, self.threshold - config.step)
+        else:
+            return
+        if new != self.threshold:
+            self.threshold = new
+            self.adjustments += 1
+
+    def fraction_to_prefetch(self, popularity_ratio: float) -> float:
+        """Heuristic interface: whole treelet iff above the live threshold."""
+        if not 0.0 <= popularity_ratio <= 1.0:
+            raise ValueError("popularity ratio must be in [0, 1]")
+        return 1.0 if popularity_ratio >= self.threshold else 0.0
+
+    def label(self) -> str:
+        return f"ADAPTIVE(thr={self.threshold:g})"

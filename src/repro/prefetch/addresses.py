@@ -1,0 +1,76 @@
+"""Treelet -> prefetch address resolution.
+
+With the repacked layout a treelet's nodes are contiguous, so the
+prefetcher derives the line burst straight from the treelet root address
+(upper address bits).  With an unmodified BVH layout the node addresses
+are scattered and must be looked up through the mapping table, whose own
+entries cost loads (Section 4.4 / Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..bvh import NodeLayout
+from ..treelet import MappingTable, TreeletDecomposition
+
+
+class TreeletAddressMap:
+    """Resolves treelets to the line addresses a prefetch must fetch."""
+
+    def __init__(
+        self,
+        decomposition: TreeletDecomposition,
+        layout: NodeLayout,
+        line_bytes: int,
+        mapping_table: Optional[MappingTable] = None,
+    ) -> None:
+        if line_bytes <= 0:
+            raise ValueError("line size must be positive")
+        self.decomposition = decomposition
+        self.layout = layout
+        self.line_bytes = line_bytes
+        self.mapping_table = mapping_table
+        self._line_cache: Dict[Tuple[int, int], List[int]] = {}
+        self._mapping_cache: Dict[int, List[int]] = {}
+
+    def prefetch_lines(self, treelet_id: int, fraction: float = 1.0) -> List[int]:
+        """Line-aligned addresses covering the first ``fraction`` of the
+        treelet's nodes (node order = formation order, upper levels first).
+        """
+        if not 0.0 < fraction <= 1.0:
+            if fraction == 0.0:
+                return []
+            raise ValueError("fraction must be in [0, 1]")
+        treelet = self.decomposition.treelet(treelet_id)
+        count = max(1, round(fraction * treelet.node_count))
+        key = (treelet_id, count)
+        cached = self._line_cache.get(key)
+        if cached is not None:
+            return cached
+        lines = []
+        seen = set()
+        for node_id in treelet.node_ids[:count]:
+            line = self.layout.address_of(node_id) // self.line_bytes
+            if line not in seen:
+                seen.add(line)
+                lines.append(line * self.line_bytes)
+        self._line_cache[key] = lines
+        return lines
+
+    def mapping_lines(self, treelet_id: int) -> List[int]:
+        """Mapping-table line addresses needed to resolve one treelet."""
+        if self.mapping_table is None:
+            return []
+        cached = self._mapping_cache.get(treelet_id)
+        if cached is not None:
+            return cached
+        lines = []
+        seen = set()
+        for addr in self.mapping_table.table_load_addresses(treelet_id):
+            line = addr // self.line_bytes
+            if line not in seen:
+                seen.add(line)
+                lines.append(line * self.line_bytes)
+        self._mapping_cache[treelet_id] = lines
+        return lines

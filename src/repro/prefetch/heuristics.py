@@ -1,0 +1,51 @@
+"""Prefetch heuristics (Section 4.2): ALWAYS, POPULARITY, PARTIAL.
+
+A heuristic turns the voter's output (winner treelet + popularity ratio)
+into "what fraction of that treelet should be prefetched": 1.0 means the
+whole treelet, 0.0 means no prefetch this decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HEURISTIC_KINDS = ("always", "popularity", "partial")
+
+
+@dataclass(frozen=True)
+class PrefetchHeuristic:
+    """A named heuristic with its (optional) popularity threshold."""
+
+    kind: str = "always"
+    threshold: float = 0.0  # only meaningful for "popularity"
+
+    def __post_init__(self) -> None:
+        if self.kind not in HEURISTIC_KINDS:
+            raise ValueError(f"unknown heuristic {self.kind!r}")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+
+    def fraction_to_prefetch(self, popularity_ratio: float) -> float:
+        """Fraction of the winner treelet to prefetch (0 = skip).
+
+        * ALWAYS: the whole treelet, unconditionally.
+        * POPULARITY: the whole treelet iff the popularity ratio meets
+          the threshold (threshold 0 degenerates to ALWAYS, threshold 1
+          requires every warp-buffer ray to want the treelet).
+        * PARTIAL: a prefix of the treelet proportional to popularity —
+          the front of a treelet holds its upper-level (most reused)
+          nodes, so low popularity still prefetches something useful.
+        """
+        if not 0.0 <= popularity_ratio <= 1.0:
+            raise ValueError("popularity ratio must be in [0, 1]")
+        if self.kind == "always":
+            return 1.0
+        if self.kind == "popularity":
+            return 1.0 if popularity_ratio >= self.threshold else 0.0
+        # partial
+        return popularity_ratio
+
+    def label(self) -> str:
+        if self.kind == "popularity":
+            return f"POPULARITY:{self.threshold:g}"
+        return self.kind.upper()

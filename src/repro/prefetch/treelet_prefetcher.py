@@ -1,0 +1,161 @@
+"""The treelet prefetcher (Section 4.1).
+
+Each decision period the majority voter scans the warp buffer for the
+most popular next-treelet; the active heuristic decides whether (and how
+much of) that treelet to prefetch; the resulting line addresses enter
+the prefetch queue, which the RT unit drains one entry per cycle when a
+memory port is free.  The prefetcher remembers the last treelet it
+prefetched and never enqueues the same treelet twice in a row.
+
+Mapping-table modes (Section 4.4, evaluated in Figure 14):
+
+* ``mapping_mode=None`` — repacked BVH, node addresses derived directly.
+* ``"loose"`` — table loads are simply prepended to the prefetch queue
+  (best case: metadata could be fetched ahead of time).
+* ``"strict"`` — treelet line prefetches are held back until every table
+  load has returned (worst case).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .adaptive import AdaptiveThrottle
+from .addresses import TreeletAddressMap
+from .base import Prefetcher, PrefetchRequest
+from .heuristics import PrefetchHeuristic
+from .voter import MajorityVoter
+
+#: Default bound on queued prefetch entries (hardware FIFO depth).
+DEFAULT_QUEUE_LIMIT = 128
+
+
+class TreeletPrefetcher(Prefetcher):
+    """Voter + heuristic + prefetch queue for one RT unit."""
+
+    def __init__(
+        self,
+        address_map: TreeletAddressMap,
+        heuristic: Optional[PrefetchHeuristic] = None,
+        voter: Optional[MajorityVoter] = None,
+        warp_size: int = 32,
+        warp_buffer_size: int = 16,
+        mapping_mode: Optional[str] = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        adaptive: Optional[AdaptiveThrottle] = None,
+    ) -> None:
+        super().__init__()
+        if mapping_mode not in (None, "loose", "strict"):
+            raise ValueError(f"unknown mapping mode {mapping_mode!r}")
+        if mapping_mode is not None and address_map.mapping_table is None:
+            raise ValueError("mapping modes require a mapping table")
+        if queue_limit < 1:
+            raise ValueError("queue limit must be positive")
+        self.address_map = address_map
+        self.heuristic = heuristic or PrefetchHeuristic()
+        #: when set, the live throttle replaces the static heuristic.
+        self.adaptive = adaptive
+        self.voter = voter or MajorityVoter()
+        self.max_rays = warp_size * warp_buffer_size
+        self.mapping_mode = mapping_mode
+        self.queue_limit = queue_limit
+        self._queue: Deque[PrefetchRequest] = deque()
+        self._next_decision_cycle = 0
+        self._release_cycle = 0  # voter latency gate on queued entries
+        self._last_version = -2  # warp-buffer state version last voted on
+        self._strict_outstanding = 0  # Strict Wait mapping loads in flight
+
+    # -- Prefetcher interface -------------------------------------------
+
+    def on_cycle(self, cycle: int, warps, version: int = -1) -> None:
+        if cycle < self._next_decision_cycle:
+            return
+        if self._strict_outstanding:
+            return  # Strict Wait: stalled on mapping-table loads
+        if version >= 0 and version == self._last_version:
+            return  # identical warp-buffer state -> identical decision
+        self._next_decision_cycle = cycle + self.voter.period
+        self._last_version = version
+        decision = self.voter.decide(warps)
+        if decision is None:
+            return
+        winner, popularity, total_votes = decision
+        if winner == self.last_prefetched_treelet:
+            return  # never prefetch the same treelet twice in a row
+        # Popularity ratio: paper divides by the warp buffer's capacity;
+        # we divide by the rays actually voting so the POPULARITY
+        # thresholds remain meaningful at reduced occupancy (DESIGN.md).
+        ratio = min(1.0, popularity / max(1, total_votes))
+        if self.adaptive is not None:
+            fraction = self.adaptive.fraction_to_prefetch(ratio)
+        else:
+            fraction = self.heuristic.fraction_to_prefetch(ratio)
+        self.stats.decisions += 1
+        if fraction <= 0.0:
+            return
+        lines = self.address_map.prefetch_lines(winner, fraction)
+        if not lines:
+            return
+        self.last_prefetched_treelet = winner
+        self.stats.treelets_prefetched += 1
+        # Entries become issueable only after the voter latency elapses.
+        self._release_cycle = cycle + self.voter.latency
+        if self.mapping_mode is None:
+            self._enqueue_lines(lines)
+        elif self.mapping_mode == "loose":
+            self._enqueue_lines(self.address_map.mapping_lines(winner), "mapping")
+            self._enqueue_lines(lines)
+        else:  # strict
+            self._enqueue_strict(winner, lines)
+
+    def on_feedback(self, cycle: int, counts) -> None:
+        if self.adaptive is not None:
+            self.adaptive.on_cycle(cycle, counts)
+
+    def pop_prefetch(self, cycle: int) -> Optional[PrefetchRequest]:
+        if not self._queue or cycle < self._release_cycle:
+            return None
+        self.stats.requests_issued += 1
+        return self._queue.popleft()
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- internals --------------------------------------------------------
+
+    def _enqueue_lines(self, addresses: List[int], region: str = "node") -> None:
+        for address in addresses:
+            if len(self._queue) >= self.queue_limit:
+                self.stats.requests_dropped += 1
+                continue
+            self._queue.append(PrefetchRequest(address=address, region=region))
+            self.stats.requests_enqueued += 1
+
+    def _enqueue_strict(self, treelet_id: int, lines: List[int]) -> None:
+        """Strict Wait: node prefetches enqueue after table loads return,
+        and the prefetcher makes no new decisions until then."""
+        mapping = self.address_map.mapping_lines(treelet_id)
+        if not mapping:
+            self._enqueue_lines(lines)
+            return
+        self._strict_outstanding += len(mapping)
+
+        def table_load_done(_cycle: int) -> None:
+            self._strict_outstanding -= 1
+            if self._strict_outstanding == 0:
+                self._enqueue_lines(lines)
+
+        for address in mapping:
+            if len(self._queue) >= self.queue_limit:
+                self.stats.requests_dropped += 1
+                table_load_done(0)  # don't deadlock the release
+                continue
+            self._queue.append(
+                PrefetchRequest(
+                    address=address,
+                    region="mapping",
+                    on_complete=table_load_done,
+                )
+            )
+            self.stats.requests_enqueued += 1

@@ -1,0 +1,135 @@
+"""Treelet address majority voters (Section 4.1.1 / Section 6.5).
+
+Two models:
+
+* **full** — an idealized single-cycle majority over every ray in the
+  warp buffer (the paper's reference voter; unbuildable in one cycle).
+* **pseudo** — the two-level design: a first-level table finds each
+  warp's most popular treelet, a second-level 16-entry table finds the
+  most popular among the per-warp winners.  Counting takes time, modeled
+  as a configurable decision latency (Figure 16's sweep: 512 cycles for
+  one shared first-level table down to 32 when fully duplicated).
+
+The module also carries the Section 6.5 area/storage arithmetic so the
+overhead numbers are reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+#: Bits per first-level entry: 23-bit treelet root address + 4-bit count.
+FIRST_LEVEL_ENTRY_BITS = 23 + 4
+FIRST_LEVEL_ENTRIES = 32
+#: Bits per second-level entry: 23-bit address + 3-bit count.
+SECOND_LEVEL_ENTRY_BITS = 23 + 3
+SECOND_LEVEL_ENTRIES = 16
+#: FreePDK45 synthesis result for the voter's sequential logic (paper).
+SEQUENTIAL_AREA_UM2 = 461.0
+
+
+def first_level_table_bytes() -> int:
+    """108 bytes, matching the paper's arithmetic."""
+    return FIRST_LEVEL_ENTRIES * FIRST_LEVEL_ENTRY_BITS // 8
+
+
+def second_level_table_bytes() -> int:
+    """52 bytes, matching the paper's arithmetic."""
+    return SECOND_LEVEL_ENTRIES * SECOND_LEVEL_ENTRY_BITS // 8
+
+
+def voter_storage_bytes(first_level_copies: int = 1) -> int:
+    """Total table storage for a design with N first-level table copies."""
+    if first_level_copies < 1:
+        raise ValueError("need at least one first-level table")
+    return (
+        first_level_copies * first_level_table_bytes()
+        + second_level_table_bytes()
+    )
+
+
+def voter_latency_for_copies(
+    first_level_copies: int, warp_size: int = 32, warp_buffer_size: int = 16
+) -> int:
+    """Decision latency: one thread counted per table per cycle.
+
+    One shared table counts all ``warp_buffer_size * warp_size`` threads
+    sequentially (512 cycles); duplicating the table divides the latency
+    (4 copies -> 128 cycles, 16 copies -> 32 cycles).
+    """
+    if first_level_copies < 1:
+        raise ValueError("need at least one first-level table")
+    total_threads = warp_size * warp_buffer_size
+    copies = min(first_level_copies, warp_buffer_size)
+    return total_threads // copies
+
+
+@dataclass
+class VoterStats:
+    decisions: int = 0
+    agreements: int = 0  # pseudo winner == full winner
+
+    @property
+    def accuracy(self) -> float:
+        if self.decisions == 0:
+            return 0.0
+        return self.agreements / self.decisions
+
+
+class MajorityVoter:
+    """Finds the most popular next-treelet across the warp buffer."""
+
+    def __init__(self, mode: str = "full", latency: int = 0) -> None:
+        if mode not in ("full", "pseudo"):
+            raise ValueError(f"unknown voter mode {mode!r}")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.mode = mode
+        self.latency = latency
+        self.stats = VoterStats()
+
+    @property
+    def period(self) -> int:
+        """Cycles between decisions (at least one)."""
+        return max(1, self.latency)
+
+    def decide(self, warps: Iterable) -> Optional[Tuple[int, int, int]]:
+        """Return ``(winner_treelet, popularity, total_votes)`` or None.
+
+        ``warps`` are :class:`~repro.gpusim.warp.WarpSlot`-likes exposing
+        ``alive_treelet_counts`` and ``winner_treelet()``.  ``popularity``
+        is the number of warp-buffer rays headed for the winner (the
+        "ones counter" output) and ``total_votes`` the number of rays
+        that voted — the denominator the popularity heuristics use.
+        """
+        warps = list(warps)
+        merged: Counter = Counter()
+        for warp in warps:
+            merged.update(warp.alive_treelet_counts)
+        merged.pop(-1, None)  # rays with no treelet info
+        if not merged:
+            return None
+        full_winner = min(merged, key=lambda t: (-merged[t], t))
+        if self.mode == "full":
+            winner = full_winner
+        else:
+            # Second level: tally each warp's (winner, count) pair.  Only
+            # the per-warp winners survive level one — minority treelets
+            # within a warp are invisible to level two, which is exactly
+            # where the pseudo voter loses accuracy vs the full majority.
+            level_two: Counter = Counter()
+            for warp in warps:
+                warp_winner = warp.winner_treelet()
+                if warp_winner is not None and warp_winner != -1:
+                    level_two[warp_winner] += warp.alive_treelet_counts[
+                        warp_winner
+                    ]
+            if not level_two:
+                return None
+            winner = min(level_two, key=lambda t: (-level_two[t], t))
+        self.stats.decisions += 1
+        if winner == full_winner:
+            self.stats.agreements += 1
+        return winner, merged[winner], sum(merged.values())

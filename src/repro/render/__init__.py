@@ -1,0 +1,6 @@
+"""Frame rendering over the traversal engine (validation + inspection)."""
+
+from .image import ASCII_RAMP, Image
+from .shader import RenderConfig, render, shade_pixel
+
+__all__ = ["ASCII_RAMP", "Image", "RenderConfig", "render", "shade_pixel"]

@@ -1,0 +1,84 @@
+"""Greyscale image buffer with PPM/PGM output and ASCII preview."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+ASCII_RAMP = " .:-=+*#%@"
+
+
+class Image:
+    """A float greyscale framebuffer (values clamped to [0, 1] on output)."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("image dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._pixels: List[List[float]] = [
+            [0.0] * width for _ in range(height)
+        ]
+
+    def set(self, px: int, py: int, value: float) -> None:
+        if not (0 <= px < self.width and 0 <= py < self.height):
+            raise IndexError(f"pixel ({px}, {py}) out of range")
+        self._pixels[py][px] = float(value)
+
+    def get(self, px: int, py: int) -> float:
+        if not (0 <= px < self.width and 0 <= py < self.height):
+            raise IndexError(f"pixel ({px}, {py}) out of range")
+        return self._pixels[py][px]
+
+    def rows(self) -> List[List[float]]:
+        """The raw rows (top row first); treat as read-only."""
+        return self._pixels
+
+    def mean(self) -> float:
+        total = sum(sum(row) for row in self._pixels)
+        return total / (self.width * self.height)
+
+    def coverage(self) -> float:
+        """Fraction of pixels with any brightness (hit anything)."""
+        lit = sum(1 for row in self._pixels for v in row if v > 0.0)
+        return lit / (self.width * self.height)
+
+    def max_abs_difference(self, other: "Image") -> float:
+        """Largest per-pixel difference (for image-equality tests)."""
+        if (self.width, self.height) != (other.width, other.height):
+            raise ValueError("image dimensions differ")
+        return max(
+            abs(a - b)
+            for row_a, row_b in zip(self._pixels, other._pixels)
+            for a, b in zip(row_a, row_b)
+        )
+
+    def to_ascii(self, max_rows: int = 32) -> str:
+        """ASCII rendering (two characters per pixel for aspect ratio)."""
+        step = max(1, self.height // max_rows)
+        lines = []
+        for row in self._pixels[::step]:
+            lines.append(
+                "".join(
+                    ASCII_RAMP[
+                        min(len(ASCII_RAMP) - 1,
+                            int(max(0.0, min(1.0, v)) * len(ASCII_RAMP)))
+                    ] * 2
+                    for v in row
+                )
+            )
+        return "\n".join(lines)
+
+    def write_pgm(self, path: Union[str, Path]) -> Path:
+        """Write a plain-text greyscale PGM (P2) file."""
+        path = Path(path)
+        with path.open("w") as fh:
+            fh.write(f"P2\n{self.width} {self.height}\n255\n")
+            for row in self._pixels:
+                fh.write(
+                    " ".join(
+                        str(int(255 * max(0.0, min(1.0, v)))) for v in row
+                    )
+                )
+                fh.write("\n")
+        return path

@@ -1,0 +1,51 @@
+"""Scene library: procedural generators, named scenes, camera, ray gen."""
+
+from .camera import Camera
+from .generators import (
+    box,
+    city,
+    cone,
+    plane,
+    room,
+    scattered,
+    soup,
+    sphere,
+    terrain,
+    tree,
+)
+from .obj_io import ObjFormatError, load_obj, save_obj
+from .library import (
+    ALL_SCENES,
+    SCENE_TRIANGLE_BUDGET,
+    Scene,
+    build_scene,
+    frame_camera,
+    scene_names,
+)
+from .raygen import RayGenConfig, generate_primary_rays, generate_rays
+
+__all__ = [
+    "ALL_SCENES",
+    "Camera",
+    "ObjFormatError",
+    "RayGenConfig",
+    "SCENE_TRIANGLE_BUDGET",
+    "Scene",
+    "box",
+    "build_scene",
+    "city",
+    "cone",
+    "frame_camera",
+    "generate_primary_rays",
+    "generate_rays",
+    "load_obj",
+    "plane",
+    "room",
+    "save_obj",
+    "scattered",
+    "scene_names",
+    "soup",
+    "sphere",
+    "terrain",
+    "tree",
+]

@@ -1,0 +1,71 @@
+"""Pinhole camera for primary ray generation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..geometry import Ray, RayKind, Vec3, add, cross, mul, normalize, sub
+
+
+@dataclass(frozen=True)
+class Camera:
+    """A look-at pinhole camera.
+
+    Rays are generated through pixel centers (plus an optional sub-pixel
+    jitter) of a virtual image plane one unit in front of the camera.
+    """
+
+    position: Vec3
+    look_at: Vec3
+    up: Vec3 = (0.0, 1.0, 0.0)
+    fov_degrees: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fov_degrees < 180.0:
+            raise ValueError("fov must be in (0, 180) degrees")
+        forward = normalize(sub(self.look_at, self.position))
+        right = normalize(cross(forward, self.up))
+        true_up = cross(right, forward)
+        object.__setattr__(self, "_forward", forward)
+        object.__setattr__(self, "_right", right)
+        object.__setattr__(self, "_up", true_up)
+
+    @property
+    def basis(self) -> Tuple[Vec3, Vec3, Vec3]:
+        """(forward, right, up) orthonormal camera frame."""
+        return (self._forward, self._right, self._up)
+
+    def ray_through_pixel(
+        self,
+        px: int,
+        py: int,
+        width: int,
+        height: int,
+        jitter: Optional[Tuple[float, float]] = None,
+    ) -> Ray:
+        """Primary ray through pixel ``(px, py)`` of a ``width x height`` image.
+
+        ``jitter`` is a sub-pixel offset in ``[0, 1)^2`` (pixel centers when
+        omitted).  The image plane aspect ratio follows width/height.
+        """
+        if not (0 <= px < width and 0 <= py < height):
+            raise ValueError("pixel out of range")
+        jx, jy = jitter if jitter is not None else (0.5, 0.5)
+        half_h = math.tan(math.radians(self.fov_degrees) / 2.0)
+        half_w = half_h * width / height
+        # Normalized device coordinates in [-1, 1], y flipped so that
+        # py = 0 is the top row.
+        ndc_x = 2.0 * (px + jx) / width - 1.0
+        ndc_y = 1.0 - 2.0 * (py + jy) / height
+        direction = add(
+            self._forward,
+            add(
+                mul(self._right, ndc_x * half_w),
+                mul(self._up, ndc_y * half_h),
+            ),
+        )
+        return Ray(
+            origin=self.position, direction=direction, kind=RayKind.PRIMARY
+        )

@@ -1,0 +1,262 @@
+"""Procedural mesh generators.
+
+The paper evaluates on LumiBench's artist-made scenes, which are not
+redistributable; these generators produce synthetic meshes whose BVH
+*shapes* (size, depth, spatial clustering) stand in for them.  Every
+generator is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..geometry import Mesh, merge_meshes
+
+
+def plane(nx: int = 8, nz: int = 8, size: float = 10.0, y: float = 0.0) -> Mesh:
+    """A flat ``nx`` x ``nz`` quad grid in the XZ plane (2*nx*nz tris)."""
+    if nx < 1 or nz < 1:
+        raise ValueError("grid resolution must be >= 1")
+    xs = np.linspace(-size / 2, size / 2, nx + 1)
+    zs = np.linspace(-size / 2, size / 2, nz + 1)
+    grid_x, grid_z = np.meshgrid(xs, zs, indexing="ij")
+    vertices = np.stack(
+        [grid_x.ravel(), np.full(grid_x.size, y), grid_z.ravel()], axis=1
+    )
+    faces = []
+    for i in range(nx):
+        for j in range(nz):
+            a = i * (nz + 1) + j
+            b = a + 1
+            c = a + (nz + 1)
+            d = c + 1
+            faces.append((a, b, c))
+            faces.append((b, d, c))
+    return Mesh(vertices, np.array(faces, dtype=np.int64), "plane")
+
+
+def box(
+    center: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+    half_extents: Tuple[float, float, float] = (1.0, 1.0, 1.0),
+) -> Mesh:
+    """An axis-aligned box (12 triangles)."""
+    cx, cy, cz = center
+    hx, hy, hz = half_extents
+    if min(hx, hy, hz) <= 0.0:
+        raise ValueError("half extents must be positive")
+    corners = np.array(
+        [
+            (cx - hx, cy - hy, cz - hz),
+            (cx + hx, cy - hy, cz - hz),
+            (cx + hx, cy + hy, cz - hz),
+            (cx - hx, cy + hy, cz - hz),
+            (cx - hx, cy - hy, cz + hz),
+            (cx + hx, cy - hy, cz + hz),
+            (cx + hx, cy + hy, cz + hz),
+            (cx - hx, cy + hy, cz + hz),
+        ]
+    )
+    faces = np.array(
+        [
+            (0, 2, 1), (0, 3, 2),  # back
+            (4, 5, 6), (4, 6, 7),  # front
+            (0, 1, 5), (0, 5, 4),  # bottom
+            (3, 7, 6), (3, 6, 2),  # top
+            (0, 4, 7), (0, 7, 3),  # left
+            (1, 2, 6), (1, 6, 5),  # right
+        ],
+        dtype=np.int64,
+    )
+    return Mesh(corners, faces, "box")
+
+
+def sphere(
+    stacks: int = 8,
+    slices: int = 12,
+    radius: float = 1.0,
+    center: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+    perturb: float = 0.0,
+    seed: int = 0,
+) -> Mesh:
+    """A UV sphere; ``perturb`` adds radial noise for organic blobs."""
+    if stacks < 2 or slices < 3:
+        raise ValueError("need stacks >= 2 and slices >= 3")
+    rng = np.random.default_rng(seed)
+    vertices = []
+    for i in range(stacks + 1):
+        phi = math.pi * i / stacks
+        for j in range(slices):
+            theta = 2.0 * math.pi * j / slices
+            r = radius
+            if perturb > 0.0 and 0 < i < stacks:
+                r += perturb * radius * (rng.random() - 0.5)
+            vertices.append(
+                (
+                    center[0] + r * math.sin(phi) * math.cos(theta),
+                    center[1] + r * math.cos(phi),
+                    center[2] + r * math.sin(phi) * math.sin(theta),
+                )
+            )
+    faces = []
+    for i in range(stacks):
+        for j in range(slices):
+            a = i * slices + j
+            b = i * slices + (j + 1) % slices
+            c = (i + 1) * slices + j
+            d = (i + 1) * slices + (j + 1) % slices
+            if i > 0:
+                faces.append((a, b, c))
+            if i < stacks - 1:
+                faces.append((b, d, c))
+    return Mesh(np.array(vertices), np.array(faces, dtype=np.int64), "sphere")
+
+
+def cone(
+    segments: int = 10,
+    radius: float = 1.0,
+    height: float = 2.0,
+    center: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+) -> Mesh:
+    """A cone with a fan base and side (2*segments triangles)."""
+    if segments < 3:
+        raise ValueError("need at least 3 segments")
+    cx, cy, cz = center
+    vertices = [(cx, cy + height, cz), (cx, cy, cz)]  # apex, base center
+    for j in range(segments):
+        theta = 2.0 * math.pi * j / segments
+        vertices.append(
+            (cx + radius * math.cos(theta), cy, cz + radius * math.sin(theta))
+        )
+    faces = []
+    for j in range(segments):
+        a = 2 + j
+        b = 2 + (j + 1) % segments
+        faces.append((0, b, a))  # side
+        faces.append((1, a, b))  # base
+    return Mesh(np.array(vertices), np.array(faces, dtype=np.int64), "cone")
+
+
+def terrain(
+    n: int = 24, size: float = 20.0, amplitude: float = 2.0, seed: int = 0
+) -> Mesh:
+    """A bumpy heightfield: sum of random sinusoids over a grid."""
+    if n < 1:
+        raise ValueError("grid resolution must be >= 1")
+    rng = np.random.default_rng(seed)
+    base = plane(n, n, size)
+    verts = base.vertices.copy()
+    x, z = verts[:, 0], verts[:, 2]
+    height = np.zeros(len(verts))
+    for _ in range(5):
+        freq = rng.uniform(0.2, 1.5)
+        phase = rng.uniform(0.0, 2.0 * math.pi, size=2)
+        weight = rng.uniform(0.2, 1.0)
+        height += weight * np.sin(freq * x + phase[0]) * np.cos(
+            freq * z + phase[1]
+        )
+    verts[:, 1] = amplitude * height / 5.0
+    return Mesh(verts, base.faces, "terrain")
+
+
+def soup(
+    n_tris: int,
+    extent: float = 10.0,
+    tri_size: float = 0.3,
+    seed: int = 0,
+    clusters: int = 0,
+) -> Mesh:
+    """Random triangle soup: ``n_tris`` small triangles in a cube.
+
+    With ``clusters > 0`` triangle centers are drawn from that many
+    Gaussian clusters instead of uniformly — this produces BVHs with the
+    deep, uneven structure of mechanical greeble (the CAR/ROBOT analogs).
+    """
+    if n_tris < 0:
+        raise ValueError("n_tris must be non-negative")
+    rng = np.random.default_rng(seed)
+    if n_tris == 0:
+        return Mesh(np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64), "soup")
+    if clusters > 0:
+        centers_of_mass = rng.uniform(-extent / 2, extent / 2, (clusters, 3))
+        which = rng.integers(0, clusters, n_tris)
+        centers = centers_of_mass[which] + rng.normal(
+            0.0, extent / 12.0, (n_tris, 3)
+        )
+    else:
+        centers = rng.uniform(-extent / 2, extent / 2, (n_tris, 3))
+    offsets = rng.normal(0.0, tri_size, (n_tris, 3, 3))
+    vertices = (centers[:, None, :] + offsets).reshape(-1, 3)
+    faces = np.arange(n_tris * 3, dtype=np.int64).reshape(-1, 3)
+    return Mesh(vertices, faces, "soup")
+
+
+def scattered(
+    base: Mesh,
+    count: int,
+    extent: float = 20.0,
+    scale_range: Tuple[float, float] = (0.5, 1.5),
+    seed: int = 0,
+    on_ground: bool = True,
+) -> Mesh:
+    """Scatter ``count`` randomly scaled/rotated copies of ``base``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = np.random.default_rng(seed)
+    copies = []
+    for index in range(count):
+        factor = rng.uniform(*scale_range)
+        instance = base.scaled(factor).rotated_y(rng.uniform(0, 2 * math.pi))
+        x, z = rng.uniform(-extent / 2, extent / 2, 2)
+        y = 0.0 if on_ground else rng.uniform(0.0, extent / 4)
+        copies.append(instance.translated((x, y, z)))
+    return merge_meshes(copies, f"scattered[{base.name}x{count}]")
+
+
+def room(size: float = 10.0, height: float = 4.0) -> Mesh:
+    """An open-top room: floor plus four walls (interior scenes)."""
+    floor = plane(6, 6, size)
+    half = size / 2
+    thickness = 0.05
+    walls = [
+        box((0.0, height / 2, -half), (half, height / 2, thickness)),
+        box((0.0, height / 2, half), (half, height / 2, thickness)),
+        box((-half, height / 2, 0.0), (thickness, height / 2, half)),
+        box((half, height / 2, 0.0), (thickness, height / 2, half)),
+    ]
+    return merge_meshes([floor] + walls, "room")
+
+
+def city(
+    blocks: int = 6, size: float = 20.0, seed: int = 0
+) -> Mesh:
+    """A grid of box buildings with random heights."""
+    if blocks < 1:
+        raise ValueError("need at least one block")
+    rng = np.random.default_rng(seed)
+    spacing = size / blocks
+    buildings = []
+    for i in range(blocks):
+        for j in range(blocks):
+            h = rng.uniform(0.5, 4.0)
+            w = spacing * rng.uniform(0.25, 0.4)
+            cx = -size / 2 + (i + 0.5) * spacing
+            cz = -size / 2 + (j + 0.5) * spacing
+            buildings.append(box((cx, h / 2, cz), (w, h / 2, w)))
+    return merge_meshes(buildings, "city")
+
+
+def tree(seed: int = 0, detail: int = 6) -> Mesh:
+    """A stylized tree: box trunk plus a noisy sphere canopy."""
+    trunk = box((0.0, 1.0, 0.0), (0.15, 1.0, 0.15))
+    canopy = sphere(
+        stacks=max(3, detail),
+        slices=max(4, detail + 2),
+        radius=1.2,
+        center=(0.0, 2.6, 0.0),
+        perturb=0.3,
+        seed=seed,
+    )
+    return merge_meshes([trunk, canopy], "tree")

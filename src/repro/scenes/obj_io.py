@@ -1,0 +1,106 @@
+"""Wavefront OBJ import/export for triangle meshes.
+
+Lets users run the pipeline on their own geometry instead of the
+procedural library scenes.  Only the geometry subset of OBJ is handled:
+``v`` records and ``f`` records (polygons are fan-triangulated; normals,
+texture coordinates, groups, and materials are ignored — the simulator
+only needs positions).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from ..geometry import Mesh
+
+
+class ObjFormatError(ValueError):
+    """Raised for malformed OBJ content."""
+
+
+def _parse_vertex_index(token: str, vertex_count: int, line_no: int) -> int:
+    """Resolve one ``f`` token (``7``, ``7/1``, ``7//2``, ``-1``...)."""
+    raw = token.split("/")[0]
+    try:
+        index = int(raw)
+    except ValueError as err:
+        raise ObjFormatError(
+            f"line {line_no}: bad face index {token!r}"
+        ) from err
+    if index > 0:
+        resolved = index - 1  # OBJ is 1-based
+    elif index < 0:
+        resolved = vertex_count + index  # relative to the end
+    else:
+        raise ObjFormatError(f"line {line_no}: face index 0 is invalid")
+    if not 0 <= resolved < vertex_count:
+        raise ObjFormatError(
+            f"line {line_no}: face index {index} out of range "
+            f"(have {vertex_count} vertices)"
+        )
+    return resolved
+
+
+def load_obj(path: Union[str, Path], name: str = "") -> Mesh:
+    """Load an OBJ file into a :class:`~repro.geometry.Mesh`.
+
+    Polygons with more than three vertices are fan-triangulated around
+    their first vertex.  Unknown record types are skipped.
+    """
+    path = Path(path)
+    vertices: List[List[float]] = []
+    faces: List[List[int]] = []
+    for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        parts = stripped.split()
+        record = parts[0]
+        if record == "v":
+            if len(parts) < 4:
+                raise ObjFormatError(
+                    f"line {line_no}: vertex needs 3 coordinates"
+                )
+            try:
+                vertices.append([float(c) for c in parts[1:4]])
+            except ValueError as err:
+                raise ObjFormatError(
+                    f"line {line_no}: bad vertex coordinate"
+                ) from err
+        elif record == "f":
+            if len(parts) < 4:
+                raise ObjFormatError(
+                    f"line {line_no}: face needs at least 3 vertices"
+                )
+            indices = [
+                _parse_vertex_index(token, len(vertices), line_no)
+                for token in parts[1:]
+            ]
+            anchor = indices[0]
+            for second, third in zip(indices[1:], indices[2:]):
+                faces.append([anchor, second, third])
+        # Everything else (vn, vt, g, o, s, usemtl, mtllib...) is ignored.
+    if not vertices:
+        raise ObjFormatError("no vertices found")
+    return Mesh(
+        np.array(vertices, dtype=np.float64),
+        np.array(faces, dtype=np.int64) if faces else np.zeros(
+            (0, 3), dtype=np.int64
+        ),
+        name or path.stem,
+    )
+
+
+def save_obj(mesh: Mesh, path: Union[str, Path]) -> Path:
+    """Write a mesh as a minimal OBJ file (positions + triangles)."""
+    path = Path(path)
+    lines = [f"# exported by repro: {mesh.name}"]
+    for vertex in mesh.vertices:
+        lines.append(f"v {vertex[0]:.9g} {vertex[1]:.9g} {vertex[2]:.9g}")
+    for face in mesh.faces:
+        lines.append(f"f {face[0] + 1} {face[1] + 1} {face[2] + 1}")
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,29 @@
+"""Ray traversal: intersection tests, DFS baseline, two-stack treelet walk."""
+
+from .dfs import traverse_dfs, traverse_dfs_batch
+from .intersect import ray_aabb_test, ray_triangle_test
+from .serialize import load_traces, save_traces, trace_from_dict, trace_to_dict
+from .trace import NodeVisit, RayTrace, TraversalSummary, summarize_traces
+from .two_stack import (
+    DEFERRED_ORDERS,
+    traverse_two_stack,
+    traverse_two_stack_batch,
+)
+
+__all__ = [
+    "DEFERRED_ORDERS",
+    "NodeVisit",
+    "RayTrace",
+    "TraversalSummary",
+    "load_traces",
+    "save_traces",
+    "trace_from_dict",
+    "trace_to_dict",
+    "ray_aabb_test",
+    "ray_triangle_test",
+    "summarize_traces",
+    "traverse_dfs",
+    "traverse_dfs_batch",
+    "traverse_two_stack",
+    "traverse_two_stack_batch",
+]

@@ -1,0 +1,66 @@
+"""Baseline depth-first BVH traversal with early ray termination.
+
+This is the reference traversal the paper's baseline RT unit performs:
+a single traversal stack, nearest-child-first ordering, and pruning of
+stack entries whose entry distance exceeds the current closest hit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..bvh import FlatBVH
+from ..geometry import Ray, Triangle
+from .intersect import ray_aabb_test, ray_triangle_test
+from .trace import NodeVisit, RayTrace
+
+
+def traverse_dfs(ray: Ray, bvh: FlatBVH) -> RayTrace:
+    """Trace ``ray`` through ``bvh`` depth-first; returns the full trace.
+
+    The ray's ``t_max`` is mutated as closer hits are found (that is what
+    early ray termination means), so callers wanting to reuse a ray must
+    reconstruct it.
+    """
+    trace = RayTrace(ray_id=ray.ray_id)
+    triangles: Sequence[Triangle] = bvh.triangles
+    # Stack entries: (node_id, t_enter at push time).
+    stack: List[Tuple[int, float]] = [(bvh.ROOT_ID, ray.t_min)]
+    while stack:
+        node_id, t_enter = stack.pop()
+        if t_enter >= ray.t_max:
+            continue  # Pruned by a hit found after this entry was pushed.
+        node = bvh.node(node_id)
+        trace.visits.append(
+            NodeVisit(
+                node_id=node_id,
+                is_leaf=node.is_leaf,
+                primitive_count=len(node.primitive_ids),
+            )
+        )
+        if node.is_leaf:
+            for prim_id in node.primitive_ids:
+                trace.primitive_tests += 1
+                hit = ray_triangle_test(ray, triangles[prim_id])
+                if hit is not None and hit.closer_than(trace.hit):
+                    trace.hit = hit
+                    ray.t_max = hit.t
+            continue
+        # Child AABBs live inside the (already fetched) parent node, so
+        # testing them costs no extra memory traffic.
+        hits: List[Tuple[float, int]] = []
+        for child_id in node.child_ids:
+            trace.box_tests += 1
+            overlap = ray_aabb_test(ray, bvh.node(child_id).bounds)
+            if overlap is not None:
+                hits.append((overlap[0], child_id))
+        # Push far-to-near so the nearest child is popped first.
+        hits.sort(key=lambda pair: pair[0], reverse=True)
+        for t_child, child_id in hits:
+            stack.append((child_id, t_child))
+    return trace
+
+
+def traverse_dfs_batch(rays: Sequence[Ray], bvh: FlatBVH) -> List[RayTrace]:
+    """Traverse every ray independently (the rays are mutated)."""
+    return [traverse_dfs(ray, bvh) for ray in rays]

@@ -1,0 +1,96 @@
+"""Trace serialization: save/load per-ray traversal traces as JSON.
+
+Functional traversal can be slow for large ray populations; persisting
+the traces makes timing-model experiments repeatable across processes
+and lets traces be shipped as artifacts (the timing side only needs
+node ids and leaf flags).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from ..geometry import Hit
+from .trace import NodeVisit, RayTrace
+
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: RayTrace) -> dict:
+    """One trace as a JSON-safe dict (visits packed as flat triples)."""
+    packed = []
+    for visit in trace.visits:
+        packed.extend(
+            (visit.node_id, 1 if visit.is_leaf else 0, visit.primitive_count)
+        )
+    out = {
+        "ray_id": trace.ray_id,
+        "visits": packed,
+        "box_tests": trace.box_tests,
+        "primitive_tests": trace.primitive_tests,
+    }
+    if trace.hit is not None:
+        out["hit"] = {
+            "t": trace.hit.t,
+            "primitive_id": trace.hit.primitive_id,
+            "point": list(trace.hit.point),
+            "normal": list(trace.hit.normal),
+        }
+    return out
+
+
+def trace_from_dict(data: dict) -> RayTrace:
+    packed = data["visits"]
+    if len(packed) % 3 != 0:
+        raise ValueError("corrupt trace: visit triples misaligned")
+    visits = [
+        NodeVisit(
+            node_id=packed[i],
+            is_leaf=bool(packed[i + 1]),
+            primitive_count=packed[i + 2],
+        )
+        for i in range(0, len(packed), 3)
+    ]
+    hit = None
+    if "hit" in data:
+        raw = data["hit"]
+        hit = Hit(
+            t=raw["t"],
+            primitive_id=raw["primitive_id"],
+            point=tuple(raw["point"]),
+            normal=tuple(raw["normal"]),
+        )
+    return RayTrace(
+        ray_id=data["ray_id"],
+        visits=visits,
+        hit=hit,
+        box_tests=data.get("box_tests", 0),
+        primitive_tests=data.get("primitive_tests", 0),
+    )
+
+
+def save_traces(
+    traces: Sequence[RayTrace], path: Union[str, Path]
+) -> Path:
+    """Write a batch of traces to ``path`` (JSON)."""
+    path = Path(path)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "traces": [trace_to_dict(trace) for trace in traces],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_traces(path: Union[str, Path]) -> List[RayTrace]:
+    """Read a batch of traces written by :func:`save_traces`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return [trace_from_dict(entry) for entry in payload["traces"]]

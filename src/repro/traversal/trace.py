@@ -1,0 +1,76 @@
+"""Per-ray traversal traces.
+
+The functional traversal algorithms (DFS and two-stack) emit, for every
+ray, the ordered sequence of BVH nodes it fetched.  The timing model
+replays those sequences through the RT unit and memory hierarchy — the
+same split Vulkan-Sim uses ("the treelet based traversal algorithm is
+modeled in functional simulation to provide the RT unit in the timing
+model with the sequence of memory addresses", Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..geometry import Hit
+
+
+@dataclass(frozen=True)
+class NodeVisit:
+    """One node fetch performed by a ray.
+
+    ``primitive_count`` is nonzero only for leaf visits and drives the
+    extra primitive-data demand loads in the timing model.
+    """
+
+    node_id: int
+    is_leaf: bool
+    primitive_count: int = 0
+
+
+@dataclass
+class RayTrace:
+    """Everything a single ray did during traversal."""
+
+    ray_id: int
+    visits: List[NodeVisit] = field(default_factory=list)
+    hit: Optional[Hit] = None
+    box_tests: int = 0
+    primitive_tests: int = 0
+
+    @property
+    def nodes_visited(self) -> int:
+        return len(self.visits)
+
+    @property
+    def leaf_visits(self) -> int:
+        return sum(1 for visit in self.visits if visit.is_leaf)
+
+
+@dataclass
+class TraversalSummary:
+    """Aggregate Table 3-style statistics over a batch of ray traces."""
+
+    ray_count: int
+    total_nodes: int
+    max_nodes: int
+    total_box_tests: int
+    total_primitive_tests: int
+    hit_count: int
+
+    @property
+    def avg_nodes_per_ray(self) -> float:
+        return self.total_nodes / self.ray_count if self.ray_count else 0.0
+
+
+def summarize_traces(traces: Sequence[RayTrace]) -> TraversalSummary:
+    """Fold a batch of :class:`RayTrace` into a :class:`TraversalSummary`."""
+    return TraversalSummary(
+        ray_count=len(traces),
+        total_nodes=sum(trace.nodes_visited for trace in traces),
+        max_nodes=max((trace.nodes_visited for trace in traces), default=0),
+        total_box_tests=sum(trace.box_tests for trace in traces),
+        total_primitive_tests=sum(trace.primitive_tests for trace in traces),
+        hit_count=sum(1 for trace in traces if trace.hit is not None),
+    )

@@ -1,0 +1,81 @@
+"""Treelet-based BVH memory repacking (Sections 4.4 and 6.4.1).
+
+Repacking places all nodes of a treelet contiguously in a fixed-size slot
+whose start is aligned to the maximum treelet size.  With that layout the
+prefetcher only needs the upper bits of a node's address to know its
+treelet, and a treelet prefetch is a short burst of contiguous cache
+lines.
+
+Section 6.4.1 adds an optional constant stride between treelet roots:
+with 512-byte treelets and a 256-byte DRAM partition stride, packing
+roots 512 bytes apart camps traffic on half the DRAM partitions (most
+treelets are not fully occupied, so the tails of slots see little
+traffic).  Spacing roots 768 bytes apart spreads the root-heavy traffic
+across all partitions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bvh import NODE_SIZE_BYTES
+from ..bvh.layout import BVH_BASE_ADDRESS, NodeLayout
+from .formation import TreeletDecomposition
+
+
+def treelet_layout(
+    decomposition: TreeletDecomposition,
+    base_address: int = BVH_BASE_ADDRESS,
+    stride_bytes: int = 0,
+) -> NodeLayout:
+    """Lay the BVH out treelet-by-treelet.
+
+    Each treelet occupies ``max_bytes`` starting at a slot boundary, with
+    ``stride_bytes`` of extra spacing between consecutive slots (the
+    Section 6.4.1 load-balancing knob).  Node order within a slot is the
+    breadth-first formation order, so upper-level nodes occupy the front
+    of the slot.
+    """
+    if stride_bytes < 0:
+        raise ValueError("stride_bytes must be non-negative")
+    if base_address % decomposition.max_bytes != 0:
+        raise ValueError("base address must be treelet-size aligned")
+    slot_bytes = decomposition.max_bytes + stride_bytes
+    node_address = {}
+    node_treelet = {}
+    for treelet in decomposition.treelets:
+        slot_base = base_address + treelet.treelet_id * slot_bytes
+        for index, node_id in enumerate(treelet.node_ids):
+            node_address[node_id] = slot_base + index * NODE_SIZE_BYTES
+            node_treelet[node_id] = treelet.treelet_id
+    total = decomposition.treelet_count * slot_bytes
+    label = "treelet"
+    if stride_bytes:
+        label = f"treelet+stride{stride_bytes}"
+    return NodeLayout(
+        node_address=node_address,
+        primitive_base=base_address + total,
+        total_node_bytes=total,
+        description=label,
+        node_treelet=node_treelet,
+    )
+
+
+def treelet_node_addresses(
+    decomposition: TreeletDecomposition,
+    layout: NodeLayout,
+    treelet_id: int,
+    fraction: float = 1.0,
+) -> List[int]:
+    """Addresses of the first ``fraction`` of a treelet's nodes.
+
+    ``fraction=1.0`` covers the whole treelet (ALWAYS / POPULARITY
+    heuristics); smaller fractions implement the PARTIAL heuristic, which
+    prefetches from the front of the treelet because those are the
+    upper-level, most-reused nodes.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    treelet = decomposition.treelet(treelet_id)
+    count = max(1, round(fraction * treelet.node_count)) if fraction > 0 else 0
+    return [layout.address_of(node_id) for node_id in treelet.node_ids[:count]]

@@ -1,0 +1,62 @@
+"""Shared fixtures: small deterministic geometry, BVHs, decompositions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bvh import BuildConfig, build_wide_bvh
+from repro.geometry import Ray, Triangle
+from repro.scenes import soup, sphere
+from repro.treelet import form_treelets
+
+
+def make_triangles(n: int = 64, seed: int = 7):
+    """A deterministic clustered triangle soup as Triangle objects."""
+    mesh = soup(n, extent=8.0, tri_size=0.4, seed=seed, clusters=4)
+    return mesh.triangles()
+
+
+@pytest.fixture(scope="session")
+def triangles():
+    return make_triangles()
+
+
+@pytest.fixture(scope="session")
+def small_bvh(triangles):
+    """A wide BVH over the shared soup (session-scoped; treat read-only)."""
+    bvh = build_wide_bvh(
+        triangles,
+        config=BuildConfig(max_leaf_size=2),
+        branching_factor=3,
+        name="fixture",
+    )
+    bvh.validate()
+    return bvh
+
+
+@pytest.fixture(scope="session")
+def decomposition(small_bvh):
+    dec = form_treelets(small_bvh, 512)
+    dec.validate()
+    return dec
+
+
+@pytest.fixture(scope="session")
+def sphere_bvh():
+    """A BVH over a single sphere (predictable hits from outside)."""
+    mesh = sphere(stacks=8, slices=12, radius=1.0, center=(0.0, 0.0, 0.0))
+    bvh = build_wide_bvh(
+        mesh.triangles(), config=BuildConfig(max_leaf_size=2), name="sphere"
+    )
+    bvh.validate()
+    return bvh
+
+
+def center_ray() -> Ray:
+    """A ray guaranteed to hit the unit sphere at (0,0,0) head-on."""
+    return Ray(origin=(0.0, 0.0, 5.0), direction=(0.0, 0.0, -1.0))
+
+
+@pytest.fixture
+def unit_triangle() -> Triangle:
+    return Triangle((0.0, 0.0, 0.0), (1.0, 0.0, 0.0), (0.0, 1.0, 0.0), 0)

@@ -1,0 +1,119 @@
+"""Unit tests for AABB operations."""
+
+import pytest
+
+from repro.geometry import AABB, union_all
+
+
+@pytest.fixture
+def unit_box():
+    return AABB((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+
+
+class TestEmpty:
+    def test_empty_is_empty(self):
+        assert AABB.empty().is_empty()
+
+    def test_empty_is_union_identity(self, unit_box):
+        assert AABB.empty().union(unit_box) == unit_box
+        assert unit_box.union(AABB.empty()) == unit_box
+
+    def test_empty_has_zero_measures(self):
+        empty = AABB.empty()
+        assert empty.surface_area() == 0.0
+        assert empty.volume() == 0.0
+        assert empty.extent() == (0.0, 0.0, 0.0)
+
+    def test_union_all_of_nothing_is_empty(self):
+        assert union_all([]).is_empty()
+
+
+class TestGrowUnion:
+    def test_grow_contains_point(self, unit_box):
+        grown = unit_box.grow((2.0, 0.5, 0.5))
+        assert grown.contains_point((2.0, 0.5, 0.5))
+        assert grown.contains_box(unit_box)
+
+    def test_from_points_bounds_all(self):
+        points = [(0.0, 0.0, 0.0), (1.0, 2.0, 3.0), (-1.0, 0.5, 1.0)]
+        box = AABB.from_points(points)
+        assert all(box.contains_point(p) for p in points)
+
+    def test_union_is_commutative(self, unit_box):
+        other = AABB((-1.0, -1.0, -1.0), (0.5, 0.5, 0.5))
+        assert unit_box.union(other) == other.union(unit_box)
+
+    def test_union_contains_both(self, unit_box):
+        other = AABB((5.0, 5.0, 5.0), (6.0, 6.0, 6.0))
+        u = unit_box.union(other)
+        assert u.contains_box(unit_box) and u.contains_box(other)
+
+
+class TestIntersection:
+    def test_overlapping_boxes(self, unit_box):
+        other = AABB((0.5, 0.5, 0.5), (2.0, 2.0, 2.0))
+        inter = unit_box.intersection(other)
+        assert inter == AABB((0.5, 0.5, 0.5), (1.0, 1.0, 1.0))
+        assert unit_box.overlaps(other)
+
+    def test_disjoint_boxes(self, unit_box):
+        other = AABB((2.0, 2.0, 2.0), (3.0, 3.0, 3.0))
+        assert unit_box.intersection(other).is_empty()
+        assert not unit_box.overlaps(other)
+
+    def test_touching_boxes_overlap(self, unit_box):
+        other = AABB((1.0, 0.0, 0.0), (2.0, 1.0, 1.0))
+        assert unit_box.overlaps(other)
+
+    def test_empty_never_overlaps(self, unit_box):
+        assert not AABB.empty().overlaps(unit_box)
+        assert not unit_box.overlaps(AABB.empty())
+
+
+class TestMeasures:
+    def test_unit_cube_surface_area(self, unit_box):
+        assert unit_box.surface_area() == pytest.approx(6.0)
+        assert unit_box.half_area() == pytest.approx(3.0)
+
+    def test_unit_cube_volume(self, unit_box):
+        assert unit_box.volume() == pytest.approx(1.0)
+
+    def test_centroid(self, unit_box):
+        assert unit_box.centroid() == pytest.approx((0.5, 0.5, 0.5))
+
+    def test_longest_axis(self):
+        box = AABB((0.0, 0.0, 0.0), (1.0, 3.0, 2.0))
+        assert box.longest_axis() == 1
+
+    def test_expanded_adds_margin_on_all_faces(self, unit_box):
+        grown = unit_box.expanded(0.5)
+        assert grown.lo == pytest.approx((-0.5, -0.5, -0.5))
+        assert grown.hi == pytest.approx((1.5, 1.5, 1.5))
+
+    def test_expanded_empty_stays_empty(self):
+        assert AABB.empty().expanded(1.0).is_empty()
+
+
+class TestContainment:
+    def test_contains_own_corners(self, unit_box):
+        assert unit_box.contains_point(unit_box.lo)
+        assert unit_box.contains_point(unit_box.hi)
+
+    def test_contains_box_itself(self, unit_box):
+        assert unit_box.contains_box(unit_box)
+
+    def test_contains_empty_box(self, unit_box):
+        assert unit_box.contains_box(AABB.empty())
+
+    def test_does_not_contain_larger(self, unit_box):
+        bigger = unit_box.expanded(0.1)
+        assert not unit_box.contains_box(bigger)
+        assert bigger.contains_box(unit_box)
+
+    def test_union_all_matches_pairwise(self):
+        boxes = [
+            AABB((float(i), 0.0, 0.0), (float(i) + 1.0, 1.0, 1.0))
+            for i in range(4)
+        ]
+        merged = union_all(boxes)
+        assert merged == AABB((0.0, 0.0, 0.0), (4.0, 1.0, 1.0))

@@ -1,0 +1,90 @@
+"""Unit tests for multi-frame (animation) simulation."""
+
+import math
+
+import pytest
+
+from repro import BASELINE, SMOKE, TREELET_PREFETCH
+from repro.core import AnimationConfig, AnimationResult, orbit_camera, run_animation
+from repro.geometry import distance, length, sub
+from repro.scenes import Camera
+
+
+class TestOrbitCamera:
+    @pytest.fixture
+    def camera(self):
+        return Camera(position=(4.0, 2.0, 0.0), look_at=(0.0, 1.0, 0.0))
+
+    def test_zero_angle_identity(self, camera):
+        rotated = orbit_camera(camera, 0.0)
+        assert rotated.position == pytest.approx(camera.position)
+
+    def test_orbit_preserves_distance(self, camera):
+        rotated = orbit_camera(camera, 37.0)
+        assert distance(rotated.position, rotated.look_at) == pytest.approx(
+            distance(camera.position, camera.look_at)
+        )
+
+    def test_orbit_preserves_height(self, camera):
+        rotated = orbit_camera(camera, 90.0)
+        assert rotated.position[1] == pytest.approx(camera.position[1])
+
+    def test_full_circle_returns(self, camera):
+        rotated = orbit_camera(camera, 360.0)
+        assert rotated.position == pytest.approx(camera.position)
+
+    def test_look_at_unchanged(self, camera):
+        rotated = orbit_camera(camera, 45.0)
+        assert rotated.look_at == camera.look_at
+
+
+class TestAnimationConfig:
+    def test_frames_validated(self):
+        with pytest.raises(ValueError):
+            AnimationConfig(frames=0)
+
+
+class TestRunAnimation:
+    @pytest.fixture(scope="class")
+    def baseline_anim(self):
+        return run_animation(
+            "SHIP", BASELINE, AnimationConfig(frames=3), SMOKE
+        )
+
+    def test_per_frame_cycles_positive(self, baseline_anim):
+        assert len(baseline_anim.frame_cycles) == 3
+        assert all(c > 0 for c in baseline_anim.frame_cycles)
+
+    def test_total_is_sum(self, baseline_anim):
+        assert baseline_anim.total_cycles == sum(baseline_anim.frame_cycles)
+
+    def test_warm_frames_not_slower_than_cold(self, baseline_anim):
+        """Frame 0 pays the cold caches; warm frames should not cost
+        dramatically more."""
+        assert baseline_anim.steady_state <= baseline_anim.first_frame * 1.3
+
+    def test_deterministic(self):
+        a = run_animation("SHIP", BASELINE, AnimationConfig(frames=2), SMOKE)
+        b = run_animation("SHIP", BASELINE, AnimationConfig(frames=2), SMOKE)
+        assert a.frame_cycles == b.frame_cycles
+
+    def test_prefetch_technique_runs(self):
+        result = run_animation(
+            "SHIP", TREELET_PREFETCH, AnimationConfig(frames=2), SMOKE
+        )
+        assert len(result.frame_cycles) == 2
+        assert result.technique is TREELET_PREFETCH
+
+    def test_single_frame_animation(self):
+        result = run_animation(
+            "SHIP", BASELINE, AnimationConfig(frames=1), SMOKE
+        )
+        assert result.steady_state == float(result.first_frame)
+        assert result.warmup_ratio == 1.0
+
+
+class TestAnimationResult:
+    def test_warmup_ratio(self):
+        result = AnimationResult(BASELINE, [200, 100, 100])
+        assert result.warmup_ratio == pytest.approx(2.0)
+        assert result.steady_state == pytest.approx(100.0)

@@ -1,0 +1,111 @@
+"""Property test: the Cache against a brutally simple reference model.
+
+Hypothesis drives random probe/fill sequences through both the real
+tag/MSHR cache and a reference implementation written with no cleverness
+(plain lists, linear scans). Any divergence in outcomes or eviction
+choices is a bug in one of them — and the reference is small enough to
+trust by inspection.
+"""
+
+from typing import List, Optional, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import CacheConfig
+from repro.gpusim import AccessOutcome, Cache
+
+
+class ReferenceCache:
+    """LRU set-associative cache + MSHR set, the obvious way."""
+
+    def __init__(self, n_lines: int, assoc: int) -> None:
+        self.n_lines = n_lines
+        self.assoc = assoc or n_lines
+        self.n_sets = n_lines // (assoc or n_lines)
+        # Per set: list of lines, most recently used LAST.
+        self.sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self.inflight: List[int] = []
+
+    def _set(self, line: int) -> List[int]:
+        return self.sets[line % self.n_sets]
+
+    def probe(self, line: int) -> str:
+        bucket = self._set(line)
+        if line in bucket:
+            bucket.remove(line)
+            bucket.append(line)
+            return "hit"
+        if line in self.inflight:
+            return "pending"
+        self.inflight.append(line)
+        return "miss"
+
+    def fill(self, line: int) -> Optional[int]:
+        """Returns the evicted line, if any."""
+        if line in self.inflight:
+            self.inflight.remove(line)
+        bucket = self._set(line)
+        victim = None
+        if line not in bucket:
+            if len(bucket) >= self.assoc:
+                victim = bucket.pop(0)
+            bucket.append(line)
+        return victim
+
+
+@st.composite
+def operation_sequences(draw):
+    """Random interleavings of probes and fills over a small line space."""
+    ops: List[Tuple[str, int]] = []
+    outstanding: List[int] = []
+    for _ in range(draw(st.integers(1, 60))):
+        if outstanding and draw(st.booleans()):
+            index = draw(st.integers(0, len(outstanding) - 1))
+            ops.append(("fill", outstanding.pop(index)))
+        else:
+            line = draw(st.integers(0, 15))
+            ops.append(("probe", line))
+            if line not in outstanding:
+                outstanding.append(line)  # may or may not become a miss
+    return ops
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=operation_sequences(),
+    geometry=st.sampled_from([(4, 0), (4, 2), (8, 0), (8, 4), (8, 2)]),
+)
+def test_cache_matches_reference(ops, geometry):
+    n_lines, assoc = geometry
+    real = Cache(
+        CacheConfig(
+            size_bytes=n_lines * 128,
+            line_bytes=128,
+            associativity=assoc,
+            mshr_entries=1024,
+        )
+    )
+    evicted_real: List[int] = []
+    real.eviction_listener = lambda line, meta: evicted_real.append(line)
+    reference = ReferenceCache(n_lines, assoc)
+    evicted_reference: List[int] = []
+
+    outcome_map = {
+        AccessOutcome.HIT: "hit",
+        AccessOutcome.PENDING_HIT: "pending",
+        AccessOutcome.MISS: "miss",
+    }
+    for op, line in ops:
+        if op == "probe":
+            got = outcome_map[real.probe(line, is_prefetch=False)]
+            expected = reference.probe(line)
+            assert got == expected, f"probe({line}): {got} != {expected}"
+        else:
+            # Only fill lines that are actually in flight in both.
+            if not real.in_flight(line):
+                continue
+            real.fill(line, cycle=0)
+            victim = reference.fill(line)
+            if victim is not None:
+                evicted_reference.append(victim)
+    assert evicted_real == evicted_reference

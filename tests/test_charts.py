@@ -1,0 +1,83 @@
+"""Unit tests for the terminal chart helpers."""
+
+import pytest
+
+from repro.analysis import bar_chart, comparison_summary, sparkline, stacked_chart
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        out = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = bar_chart({"x": 1.0, "long": 1.0})
+        lines = out.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+    def test_baseline_marker_present(self):
+        out = bar_chart({"a": 2.0}, width=10, baseline=1.0)
+        assert "|" in out
+
+    def test_values_printed(self):
+        out = bar_chart({"a": 1.234}, unit="x")
+        assert "1.234x" in out
+
+    def test_empty_series(self):
+        assert "empty" in bar_chart({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_tiny_width_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=2)
+
+
+class TestStackedChart:
+    def test_widths_proportional(self):
+        out = stacked_chart(
+            {"row": {"x": 0.5, "y": 0.5}}, buckets=["x", "y"], width=20
+        )
+        body = out.splitlines()[0]
+        assert body.count("#") == 10
+        assert body.count("=") == 10
+
+    def test_legend_lists_buckets(self):
+        out = stacked_chart(
+            {"row": {"x": 1.0}}, buckets=["x"], width=10
+        )
+        assert "#=x" in out
+
+    def test_too_many_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_chart({"r": {}}, buckets=list("abcdefgh"))
+
+    def test_empty(self):
+        assert "empty" in stacked_chart({}, buckets=["x"])
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "." and line[-1] == "@"
+
+    def test_flat_series(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "..."
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestComparison:
+    def test_shared_keys_rendered(self):
+        out = comparison_summary({"a": 1.3, "b": 2.0}, {"a": 1.32})
+        assert "measured" in out and "paper" in out
+        assert "b" not in out
+
+    def test_no_overlap(self):
+        assert "no overlapping" in comparison_summary({"a": 1.0}, {"b": 2.0})

@@ -1,0 +1,123 @@
+"""Unit tests for the MTA, stride, stream, and GHB baselines."""
+
+import pytest
+
+from repro.prefetch import (
+    GhbPrefetcher,
+    MtaPrefetcher,
+    StridePrefetcher,
+    StreamPrefetcher,
+)
+
+
+def drain(prefetcher):
+    out = []
+    while True:
+        request = prefetcher.pop_prefetch(0)
+        if request is None:
+            return [r.address for r in out]
+        out.append(request)
+
+
+class TestMta:
+    def test_detects_repeating_stride(self):
+        p = MtaPrefetcher(line_bytes=128, degree=2)
+        for addr in (0, 256, 512):  # stride 256 seen twice
+            p.on_demand_issue(0, addr, cycle=0)
+        assert drain(p) == [768, 1024]
+
+    def test_irregular_stream_yields_nothing(self):
+        p = MtaPrefetcher()
+        for addr in (0, 8192, 128, 99840, 256):
+            p.on_demand_issue(0, addr, cycle=0)
+        assert drain(p) == []
+
+    def test_per_warp_isolation(self):
+        p = MtaPrefetcher(degree=1)
+        # Interleaved warps, each with its own clean stride.
+        for i in range(3):
+            p.on_demand_issue(0, i * 128, cycle=0)
+            p.on_demand_issue(1, i * 512, cycle=0)
+        addresses = drain(p)
+        assert 3 * 128 in addresses
+        assert 3 * 512 in addresses
+
+    def test_zero_stride_ignored(self):
+        p = MtaPrefetcher()
+        for _ in range(5):
+            p.on_demand_issue(0, 128, cycle=0)
+        assert drain(p) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MtaPrefetcher(degree=0)
+
+
+class TestStride:
+    def test_confirmed_stride_prefetches_next(self):
+        p = StridePrefetcher(line_bytes=128)
+        for addr in (0, 128, 256):
+            p.on_demand_issue(0, addr, cycle=0)
+        assert 384 in drain(p)
+
+    def test_unconfirmed_stride_quiet(self):
+        p = StridePrefetcher()
+        p.on_demand_issue(0, 0, cycle=0)
+        p.on_demand_issue(0, 128, cycle=0)  # first stride observation
+        assert drain(p) == []
+
+    def test_table_eviction_fifo(self):
+        p = StridePrefetcher(table_size=1)
+        p.on_demand_issue(0, 0, cycle=0)
+        p.on_demand_issue(1, 0, cycle=0)  # evicts warp 0's entry
+        p.on_demand_issue(0, 128, cycle=0)
+        p.on_demand_issue(0, 256, cycle=0)
+        # Warp 0 restarted from scratch: only one stride observation since.
+        assert drain(p) == []
+
+
+class TestStream:
+    def test_prefetches_next_lines(self):
+        p = StreamPrefetcher(line_bytes=128, depth=2)
+        p.on_demand_issue(0, 0, cycle=0)
+        assert drain(p) == [128, 256]
+
+    def test_recent_window_dedupes(self):
+        p = StreamPrefetcher(line_bytes=128, depth=1)
+        p.on_demand_issue(0, 0, cycle=0)
+        p.on_demand_issue(0, 0, cycle=1)
+        assert drain(p) == [128]  # second request deduplicated
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(depth=0)
+
+
+class TestGhb:
+    def test_temporal_correlation_replay(self):
+        p = GhbPrefetcher(line_bytes=128, width=2)
+        pattern = [0, 512, 1024, 2048]
+        for addr in pattern:
+            p.on_demand_issue(0, addr, cycle=0)
+        drain(p)
+        # Revisit the head of the pattern: followers should be prefetched.
+        p.on_demand_issue(0, 0, cycle=0)
+        assert drain(p) == [512, 1024]
+
+    def test_no_repeat_no_prefetch(self):
+        p = GhbPrefetcher()
+        for addr in (0, 512, 1024):
+            p.on_demand_issue(0, addr, cycle=0)
+        assert drain(p) == []
+
+    def test_history_eviction(self):
+        p = GhbPrefetcher(history=2, width=1)
+        for addr in (0, 512, 1024):  # 0 falls out of the 2-entry history
+            p.on_demand_issue(0, addr, cycle=0)
+        p.on_demand_issue(0, 0, cycle=0)
+        # The index entry for 0 was evicted, so no replay.
+        assert drain(p) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GhbPrefetcher(history=1)

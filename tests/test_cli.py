@@ -1,0 +1,87 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_scene(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "CITY17"])
+
+    def test_technique_defaults(self):
+        args = build_parser().parse_args(["run", "WKND"])
+        assert args.traversal == "treelet"
+        assert args.prefetch == "treelet"
+        assert args.scheduler == "pmr"
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "WKND", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_scenes_lists_all(self, capsys):
+        assert main(["scenes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("WKND", "ROBOT", "CHSNT"):
+            assert name in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "WKND", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "triangles" in out
+        assert "treelets" in out
+
+    def test_run_reports_speedup(self, capsys):
+        assert main(["run", "WKND", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "baseline cycles" in out
+
+    def test_run_no_prefetch(self, capsys):
+        code = main(
+            ["run", "WKND", "--scale", "smoke", "--prefetch", "none",
+             "--traversal", "dfs", "--layout", "dfs",
+             "--scheduler", "baseline"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prefetch effectiveness" not in out
+
+    def test_sweep_selected_scenes(self, capsys):
+        code = main(
+            ["sweep", "--scenes", "WKND", "SHIP", "--scale", "smoke"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GMean" in out
+
+    def test_render_ascii(self, capsys, tmp_path):
+        out_file = tmp_path / "frame.pgm"
+        code = main(
+            ["render", "WKND", "--scale", "smoke", "--size", "12",
+             "--output", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert "P2" in out_file.read_text()
+
+    def test_run_popularity_heuristic(self, capsys):
+        code = main(
+            ["run", "WKND", "--scale", "smoke",
+             "--heuristic", "popularity", "--threshold", "0.25"]
+        )
+        assert code == 0
+
+    def test_run_mapping_mode(self, capsys):
+        code = main(
+            ["run", "WKND", "--scale", "smoke", "--layout", "dfs",
+             "--mapping-mode", "loose"]
+        )
+        assert code == 0

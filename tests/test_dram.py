@@ -1,0 +1,105 @@
+"""Unit tests for the partitioned DRAM model."""
+
+import pytest
+
+from repro.core.config import DramConfig
+from repro.gpusim import Dram
+
+
+def make_dram(**kw):
+    defaults = dict(latency=100, partitions=4, partition_stride=256,
+                    burst_cycles=4)
+    defaults.update(kw)
+    return Dram(DramConfig(**defaults))
+
+
+class TestPartitionMapping:
+    def test_stride_interleaving(self):
+        config = DramConfig(partitions=4, partition_stride=256)
+        assert config.partition_of(0) == 0
+        assert config.partition_of(255) == 0
+        assert config.partition_of(256) == 1
+        assert config.partition_of(1024) == 0
+
+    def test_512_byte_steps_hit_alternate_partitions(self):
+        """The Section 6.4.1 pathology: 512B-apart roots use only
+        partitions {0, 2} (with 4 partitions and 256B stride)."""
+        config = DramConfig(partitions=4, partition_stride=256)
+        partitions = {config.partition_of(i * 512) for i in range(16)}
+        assert partitions == {0, 2}
+
+    def test_768_byte_steps_cover_all_partitions(self):
+        config = DramConfig(partitions=4, partition_stride=256)
+        partitions = {config.partition_of(i * 768) for i in range(16)}
+        assert partitions == {0, 1, 2, 3}
+
+
+class TestServiceTiming:
+    def test_single_access_latency(self):
+        dram = make_dram()
+        done = dram.service(0, cycle=10)
+        assert done == 10 + 4 + 100  # burst + latency
+
+    def test_same_partition_serializes(self):
+        dram = make_dram()
+        first = dram.service(0, cycle=0)
+        second = dram.service(0, cycle=0)
+        assert second == first + 4  # waits for the bus
+
+    def test_different_partitions_parallel(self):
+        dram = make_dram()
+        first = dram.service(0, cycle=0)
+        second = dram.service(256, cycle=0)
+        assert first == second
+
+    def test_idle_gap_resets_queueing(self):
+        dram = make_dram()
+        dram.service(0, cycle=0)
+        late = dram.service(0, cycle=1000)
+        assert late == 1000 + 4 + 100
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            make_dram().service(0, cycle=-1)
+
+
+class TestStats:
+    def test_utilization_counts_busy_cycles(self):
+        dram = make_dram()
+        for i in range(10):
+            dram.service(0, cycle=0)
+        # 10 bursts of 4 cycles on 1 of 4 partitions over 100 cycles.
+        assert dram.stats.utilization(100) == pytest.approx(
+            10 * 4 / (100 * 4)
+        )
+
+    def test_utilization_zero_cases(self):
+        dram = make_dram()
+        assert dram.stats.utilization(0) == 0.0
+        assert dram.stats.utilization(100) == 0.0
+
+    def test_imbalance_balanced(self):
+        dram = make_dram()
+        for p in range(4):
+            dram.service(p * 256, cycle=0)
+        assert dram.stats.imbalance() == pytest.approx(1.0)
+
+    def test_imbalance_camped(self):
+        dram = make_dram()
+        for _ in range(8):
+            dram.service(0, cycle=0)
+        assert dram.stats.imbalance() == pytest.approx(4.0)
+
+    def test_wait_cycles_accumulate(self):
+        dram = make_dram()
+        dram.service(0, cycle=0)
+        dram.service(0, cycle=0)
+        assert dram.stats.total_wait_cycles == 4
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DramConfig(partitions=0)
+        with pytest.raises(ValueError):
+            DramConfig(partition_stride=0)
+        with pytest.raises(ValueError):
+            DramConfig(latency=-5)

@@ -1,0 +1,68 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.gpusim import EventQueue
+
+
+class TestEventQueue:
+    def test_fires_in_cycle_order(self):
+        events = EventQueue()
+        fired = []
+        events.schedule(5, lambda c: fired.append(("b", c)))
+        events.schedule(2, lambda c: fired.append(("a", c)))
+        events.run_due(10)
+        assert fired == [("a", 2), ("b", 5)]
+
+    def test_same_cycle_fifo(self):
+        events = EventQueue()
+        fired = []
+        for tag in "xyz":
+            events.schedule(3, lambda c, t=tag: fired.append(t))
+        events.run_due(3)
+        assert fired == ["x", "y", "z"]
+
+    def test_only_due_events_fire(self):
+        events = EventQueue()
+        fired = []
+        events.schedule(1, lambda c: fired.append(1))
+        events.schedule(9, lambda c: fired.append(9))
+        events.run_due(5)
+        assert fired == [1]
+        assert len(events) == 1
+
+    def test_callback_receives_its_own_cycle(self):
+        events = EventQueue()
+        seen = []
+        events.schedule(4, seen.append)
+        events.run_due(100)  # fired late, still reports cycle 4
+        assert seen == [4]
+
+    def test_cascading_same_cycle_events(self):
+        events = EventQueue()
+        fired = []
+
+        def first(cycle):
+            fired.append("first")
+            events.schedule(cycle, lambda c: fired.append("second"))
+
+        events.schedule(2, first)
+        events.run_due(2)
+        assert fired == ["first", "second"]
+
+    def test_next_cycle(self):
+        events = EventQueue()
+        assert events.next_cycle() is None
+        events.schedule(7, lambda c: None)
+        events.schedule(3, lambda c: None)
+        assert events.next_cycle() == 3
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda c: None)
+
+    def test_run_due_returns_count(self):
+        events = EventQueue()
+        for cycle in (1, 2, 3):
+            events.schedule(cycle, lambda c: None)
+        assert events.run_due(2) == 2

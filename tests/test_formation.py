@@ -1,0 +1,108 @@
+"""Unit tests for treelet formation (Section 3.1)."""
+
+import pytest
+
+from repro.bvh import NODE_SIZE_BYTES, build_wide_bvh
+from repro.treelet import form_treelets
+
+from conftest import make_triangles
+
+
+class TestFormationBasics:
+    def test_partition_covers_all_nodes(self, small_bvh, decomposition):
+        covered = {
+            node_id
+            for treelet in decomposition.treelets
+            for node_id in treelet.node_ids
+        }
+        assert covered == set(range(len(small_bvh)))
+
+    def test_validate_passes(self, decomposition):
+        decomposition.validate()
+
+    def test_size_cap_respected(self, decomposition):
+        for treelet in decomposition.treelets:
+            assert treelet.size_bytes <= decomposition.max_bytes
+
+    def test_first_treelet_rooted_at_bvh_root(self, small_bvh, decomposition):
+        assert decomposition.treelets[0].root_id == small_bvh.ROOT_ID
+
+    def test_treelets_are_connected(self, small_bvh, decomposition):
+        for treelet in decomposition.treelets:
+            members = set(treelet.node_ids)
+            for node_id in treelet.node_ids:
+                if node_id != treelet.root_id:
+                    assert small_bvh.node(node_id).parent_id in members
+
+    def test_bfs_order_within_treelet(self, small_bvh, decomposition):
+        """Members are ordered by non-decreasing depth (upper levels first)."""
+        for treelet in decomposition.treelets:
+            depths = [small_bvh.node(n).depth for n in treelet.node_ids]
+            assert depths == sorted(depths)
+
+    def test_minimum_size_one_node(self, small_bvh):
+        dec = form_treelets(small_bvh, NODE_SIZE_BYTES)
+        assert dec.treelet_count == len(small_bvh)
+        dec.validate()
+
+    def test_rejects_sub_node_size(self, small_bvh):
+        with pytest.raises(ValueError):
+            form_treelets(small_bvh, NODE_SIZE_BYTES - 1)
+
+    def test_whole_tree_in_one_treelet_when_size_huge(self, small_bvh):
+        dec = form_treelets(small_bvh, len(small_bvh) * NODE_SIZE_BYTES)
+        assert dec.treelet_count == 1
+        dec.validate()
+
+
+class TestFormationShape:
+    def test_upper_treelets_fuller_than_average(self):
+        """Greedy formation fills upper treelets close to the cap."""
+        bvh = build_wide_bvh(make_triangles(300, seed=11), branching_factor=3)
+        dec = form_treelets(bvh, 512)
+        cap = dec.max_nodes_per_treelet
+        assert dec.treelets[0].node_count == cap
+
+    def test_smaller_cap_means_more_treelets(self, small_bvh):
+        small = form_treelets(small_bvh, 256)
+        large = form_treelets(small_bvh, 1024)
+        assert small.treelet_count > large.treelet_count
+
+    def test_child_same_treelet_bits(self, small_bvh, decomposition):
+        for node in small_bvh.nodes:
+            bits = decomposition.child_same_treelet_bits(node.node_id)
+            assert len(bits) == node.fanout
+            for bit, child_id in zip(bits, node.child_ids):
+                assert bit == decomposition.same_treelet(
+                    node.node_id, child_id
+                )
+
+    def test_occupancy_in_unit_range(self, decomposition):
+        assert 0.0 < decomposition.occupancy() <= 1.0
+
+    def test_same_treelet_is_reflexive(self, small_bvh, decomposition):
+        assert decomposition.same_treelet(0, 0)
+
+
+class TestValidationCatchesCorruption:
+    def test_detects_double_membership(self, small_bvh):
+        dec = form_treelets(small_bvh, 512)
+        # Corrupt: duplicate one node into another treelet.
+        if dec.treelet_count >= 2:
+            from repro.treelet.formation import Treelet
+
+            victim = dec.treelets[1]
+            stolen = dec.treelets[0].node_ids[0]
+            dec.treelets[1] = Treelet(
+                victim.treelet_id,
+                victim.root_id,
+                victim.node_ids + (stolen,),
+            )
+            with pytest.raises(ValueError):
+                dec.validate()
+
+    def test_detects_oversized_treelet(self, small_bvh):
+        dec = form_treelets(small_bvh, 512)
+        dec.max_bytes = NODE_SIZE_BYTES  # shrink cap under existing treelets
+        with pytest.raises(ValueError):
+            dec.validate()

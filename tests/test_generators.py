@@ -1,0 +1,146 @@
+"""Unit tests for procedural mesh generators."""
+
+import numpy as np
+import pytest
+
+from repro.scenes import (
+    box,
+    city,
+    cone,
+    plane,
+    room,
+    scattered,
+    soup,
+    sphere,
+    terrain,
+    tree,
+)
+
+
+class TestPlane:
+    def test_triangle_count(self):
+        mesh = plane(4, 3)
+        assert mesh.triangle_count == 2 * 4 * 3
+
+    def test_flat_in_y(self):
+        mesh = plane(2, 2, y=1.5)
+        assert np.allclose(mesh.vertices[:, 1], 1.5)
+
+    def test_bounds_match_size(self):
+        mesh = plane(2, 2, size=10.0)
+        bounds = mesh.bounds()
+        assert bounds.lo[0] == pytest.approx(-5.0)
+        assert bounds.hi[2] == pytest.approx(5.0)
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            plane(0, 1)
+
+
+class TestBox:
+    def test_twelve_triangles(self):
+        assert box().triangle_count == 12
+
+    def test_bounds(self):
+        mesh = box(center=(1.0, 2.0, 3.0), half_extents=(0.5, 1.0, 1.5))
+        bounds = mesh.bounds()
+        assert bounds.lo == pytest.approx((0.5, 1.0, 1.5))
+        assert bounds.hi == pytest.approx((1.5, 3.0, 4.5))
+
+    def test_positive_extents_required(self):
+        with pytest.raises(ValueError):
+            box(half_extents=(1.0, 0.0, 1.0))
+
+
+class TestSphere:
+    def test_triangle_count_formula(self):
+        stacks, slices = 6, 8
+        mesh = sphere(stacks=stacks, slices=slices)
+        # Top/bottom caps have one fan each; middle stacks two per quad.
+        assert mesh.triangle_count == 2 * slices * (stacks - 1)
+
+    def test_vertices_on_radius(self):
+        mesh = sphere(stacks=8, slices=12, radius=2.0, perturb=0.0)
+        radii = np.linalg.norm(mesh.vertices, axis=1)
+        assert np.allclose(radii, 2.0, atol=1e-9)
+
+    def test_perturb_moves_vertices(self):
+        smooth = sphere(stacks=6, slices=8, perturb=0.0, seed=1)
+        rough = sphere(stacks=6, slices=8, perturb=0.5, seed=1)
+        assert not np.allclose(smooth.vertices, rough.vertices)
+
+    def test_deterministic_for_seed(self):
+        a = sphere(perturb=0.3, seed=5)
+        b = sphere(perturb=0.3, seed=5)
+        assert np.array_equal(a.vertices, b.vertices)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            sphere(stacks=1)
+
+
+class TestConeTerrain:
+    def test_cone_triangle_count(self):
+        assert cone(segments=10).triangle_count == 20
+
+    def test_cone_validation(self):
+        with pytest.raises(ValueError):
+            cone(segments=2)
+
+    def test_terrain_heights_bounded(self):
+        mesh = terrain(n=10, amplitude=2.0, seed=3)
+        assert np.abs(mesh.vertices[:, 1]).max() <= 2.0 + 1e-9
+
+    def test_terrain_deterministic(self):
+        assert np.array_equal(
+            terrain(n=6, seed=9).vertices, terrain(n=6, seed=9).vertices
+        )
+
+
+class TestSoup:
+    def test_exact_triangle_count(self):
+        assert soup(37, seed=1).triangle_count == 37
+
+    def test_zero_triangles(self):
+        assert soup(0).triangle_count == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            soup(-1)
+
+    def test_clustered_soup_is_spatially_tighter(self):
+        uniform = soup(500, extent=10.0, seed=2, clusters=0)
+        clustered = soup(500, extent=10.0, seed=2, clusters=3)
+        # Mean pairwise spread around cluster centers is smaller.
+        def spread(mesh):
+            centers = mesh.vertices.reshape(-1, 3, 3).mean(axis=1)
+            return centers.std(axis=0).mean()
+
+        assert spread(clustered) != spread(uniform)
+
+    def test_deterministic(self):
+        a, b = soup(20, seed=4), soup(20, seed=4)
+        assert np.array_equal(a.vertices, b.vertices)
+
+
+class TestComposites:
+    def test_scattered_multiplies_base(self):
+        base = box()
+        mesh = scattered(base, 5, seed=1)
+        assert mesh.triangle_count == 5 * base.triangle_count
+
+    def test_scattered_zero_copies(self):
+        assert scattered(box(), 0).triangle_count == 0
+
+    def test_room_has_floor_and_walls(self):
+        mesh = room(10.0, 4.0)
+        bounds = mesh.bounds()
+        assert bounds.hi[1] >= 4.0
+
+    def test_city_block_count(self):
+        mesh = city(blocks=3, seed=1)
+        assert mesh.triangle_count == 12 * 9
+
+    def test_tree_combines_trunk_and_canopy(self):
+        mesh = tree(seed=1, detail=5)
+        assert mesh.triangle_count > 12  # more than just the trunk box

@@ -1,0 +1,62 @@
+"""Unit tests for prefetch heuristics (Section 4.2)."""
+
+import pytest
+
+from repro.prefetch import PrefetchHeuristic
+
+
+class TestAlways:
+    def test_prefetches_whole_treelet_regardless(self):
+        h = PrefetchHeuristic("always")
+        for ratio in (0.0, 0.01, 0.5, 1.0):
+            assert h.fraction_to_prefetch(ratio) == 1.0
+
+
+class TestPopularity:
+    def test_threshold_gates_prefetch(self):
+        h = PrefetchHeuristic("popularity", threshold=0.5)
+        assert h.fraction_to_prefetch(0.49) == 0.0
+        assert h.fraction_to_prefetch(0.5) == 1.0
+        assert h.fraction_to_prefetch(0.9) == 1.0
+
+    def test_zero_threshold_degenerates_to_always(self):
+        h = PrefetchHeuristic("popularity", threshold=0.0)
+        assert h.fraction_to_prefetch(0.0) == 1.0
+
+    def test_threshold_one_requires_unanimity(self):
+        h = PrefetchHeuristic("popularity", threshold=1.0)
+        assert h.fraction_to_prefetch(0.999) == 0.0
+        assert h.fraction_to_prefetch(1.0) == 1.0
+
+
+class TestPartial:
+    def test_fraction_equals_popularity(self):
+        h = PrefetchHeuristic("partial")
+        assert h.fraction_to_prefetch(0.25) == 0.25
+        assert h.fraction_to_prefetch(1.0) == 1.0
+
+    def test_zero_popularity_prefetches_nothing(self):
+        h = PrefetchHeuristic("partial")
+        assert h.fraction_to_prefetch(0.0) == 0.0
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PrefetchHeuristic("sometimes")
+
+    def test_threshold_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PrefetchHeuristic("popularity", threshold=1.5)
+
+    def test_ratio_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PrefetchHeuristic("always").fraction_to_prefetch(1.5)
+
+    def test_labels(self):
+        assert PrefetchHeuristic("always").label() == "ALWAYS"
+        assert (
+            PrefetchHeuristic("popularity", threshold=0.25).label()
+            == "POPULARITY:0.25"
+        )
+        assert PrefetchHeuristic("partial").label() == "PARTIAL"

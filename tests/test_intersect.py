@@ -1,0 +1,123 @@
+"""Unit tests for ray/AABB and ray/triangle intersection."""
+
+import pytest
+
+from repro.geometry import AABB, Ray, Triangle
+from repro.traversal import ray_aabb_test, ray_triangle_test
+
+
+def ray(origin, direction, **kw):
+    return Ray(origin=origin, direction=direction, **kw)
+
+
+class TestRayAabb:
+    BOX = AABB((-1.0, -1.0, -1.0), (1.0, 1.0, 1.0))
+
+    def test_head_on_hit(self):
+        overlap = ray_aabb_test(ray((0.0, 0.0, 5.0), (0.0, 0.0, -1.0)), self.BOX)
+        assert overlap is not None
+        t_enter, t_exit = overlap
+        assert t_enter == pytest.approx(4.0)
+        assert t_exit == pytest.approx(6.0)
+
+    def test_miss_to_the_side(self):
+        assert ray_aabb_test(
+            ray((5.0, 0.0, 5.0), (0.0, 0.0, -1.0)), self.BOX
+        ) is None
+
+    def test_origin_inside_box(self):
+        overlap = ray_aabb_test(ray((0.0, 0.0, 0.0), (1.0, 0.0, 0.0)), self.BOX)
+        assert overlap is not None
+        assert overlap[0] == pytest.approx(1e-4)  # clamped to t_min
+
+    def test_box_behind_ray(self):
+        assert ray_aabb_test(
+            ray((0.0, 0.0, 5.0), (0.0, 0.0, 1.0)), self.BOX
+        ) is None
+
+    def test_t_max_prunes(self):
+        r = ray((0.0, 0.0, 5.0), (0.0, 0.0, -1.0), t_max=3.0)
+        assert ray_aabb_test(r, self.BOX) is None
+
+    def test_axis_parallel_ray_inside_slab(self):
+        r = ray((0.5, 0.5, 5.0), (0.0, 0.0, -1.0))
+        assert ray_aabb_test(r, self.BOX) is not None
+
+    def test_axis_parallel_ray_outside_slab(self):
+        r = ray((2.0, 0.5, 5.0), (0.0, 0.0, -1.0))
+        assert ray_aabb_test(r, self.BOX) is None
+
+    def test_empty_box_never_hit(self):
+        assert ray_aabb_test(
+            ray((0.0, 0.0, 5.0), (0.0, 0.0, -1.0)), AABB.empty()
+        ) is None
+
+    def test_diagonal_hit(self):
+        r = ray((2.0, 2.0, 2.0), (-1.0, -1.0, -1.0))
+        overlap = ray_aabb_test(r, self.BOX)
+        assert overlap is not None
+
+    def test_grazing_face_plane_with_parallel_axis_misses(self):
+        # The ray runs exactly along the box's top edge; the parallel-axis
+        # slab degenerates to (-inf, 0] so the test conservatively misses.
+        r = ray((-2.0, 1.0, 1.0), (1.0, 0.0, 0.0))
+        assert ray_aabb_test(r, self.BOX) is None
+
+    def test_just_inside_face_plane_hits(self):
+        r = ray((-2.0, 1.0 - 1e-6, 1.0 - 1e-6), (1.0, 0.0, 0.0))
+        assert ray_aabb_test(r, self.BOX) is not None
+
+
+class TestRayTriangle:
+    def test_center_hit(self, unit_triangle):
+        r = ray((0.25, 0.25, 1.0), (0.0, 0.0, -1.0))
+        hit = ray_triangle_test(r, unit_triangle)
+        assert hit is not None
+        assert hit.t == pytest.approx(1.0)
+        assert hit.primitive_id == 0
+        assert hit.point == pytest.approx((0.25, 0.25, 0.0))
+
+    def test_miss_outside_edge(self, unit_triangle):
+        r = ray((0.9, 0.9, 1.0), (0.0, 0.0, -1.0))
+        assert ray_triangle_test(r, unit_triangle) is None
+
+    def test_backface_hit_reported(self, unit_triangle):
+        r = ray((0.25, 0.25, -1.0), (0.0, 0.0, 1.0))
+        hit = ray_triangle_test(r, unit_triangle)
+        assert hit is not None
+
+    def test_parallel_ray_misses(self, unit_triangle):
+        r = ray((0.0, 0.0, 1.0), (1.0, 0.0, 0.0))
+        assert ray_triangle_test(r, unit_triangle) is None
+
+    def test_hit_outside_t_range(self, unit_triangle):
+        r = ray((0.25, 0.25, 1.0), (0.0, 0.0, -1.0), t_max=0.5)
+        assert ray_triangle_test(r, unit_triangle) is None
+
+    def test_t_min_blocks_near_hit(self, unit_triangle):
+        r = ray((0.25, 0.25, 0.05), (0.0, 0.0, -1.0), t_min=0.1)
+        assert ray_triangle_test(r, unit_triangle) is None
+
+    def test_vertex_hit(self, unit_triangle):
+        r = ray((0.0, 0.0, 1.0), (0.0, 0.0, -1.0))
+        hit = ray_triangle_test(r, unit_triangle)
+        assert hit is not None  # barycentric boundary inclusive
+
+    def test_normal_points_consistently(self, unit_triangle):
+        r = ray((0.25, 0.25, 1.0), (0.0, 0.0, -1.0))
+        hit = ray_triangle_test(r, unit_triangle)
+        assert hit.normal == pytest.approx((0.0, 0.0, 1.0))
+
+    def test_closer_than_ordering(self, unit_triangle):
+        near = ray_triangle_test(
+            ray((0.25, 0.25, 1.0), (0.0, 0.0, -1.0)), unit_triangle
+        )
+        far_triangle = Triangle(
+            (0.0, 0.0, -5.0), (1.0, 0.0, -5.0), (0.0, 1.0, -5.0), 1
+        )
+        far = ray_triangle_test(
+            ray((0.25, 0.25, 1.0), (0.0, 0.0, -1.0)), far_triangle
+        )
+        assert near.closer_than(far)
+        assert not far.closer_than(near)
+        assert near.closer_than(None)

@@ -1,0 +1,108 @@
+"""Unit tests for OBJ import/export."""
+
+import numpy as np
+import pytest
+
+from repro.scenes import box, sphere
+from repro.scenes.obj_io import ObjFormatError, load_obj, save_obj
+
+
+SIMPLE_OBJ = """
+# a single quad, fan-triangulated
+v 0 0 0
+v 1 0 0
+v 1 1 0
+v 0 1 0
+f 1 2 3 4
+"""
+
+
+class TestLoad:
+    def test_quad_becomes_two_triangles(self, tmp_path):
+        path = tmp_path / "quad.obj"
+        path.write_text(SIMPLE_OBJ)
+        mesh = load_obj(path)
+        assert mesh.triangle_count == 2
+        assert len(mesh.vertices) == 4
+        assert mesh.faces.tolist() == [[0, 1, 2], [0, 2, 3]]
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "teapot.obj"
+        path.write_text(SIMPLE_OBJ)
+        assert load_obj(path).name == "teapot"
+
+    def test_slash_formats_supported(self, tmp_path):
+        path = tmp_path / "slashes.obj"
+        path.write_text(
+            "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1/1 2/2/2 3//3\n"
+        )
+        mesh = load_obj(path)
+        assert mesh.triangle_count == 1
+
+    def test_negative_indices(self, tmp_path):
+        path = tmp_path / "neg.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n")
+        mesh = load_obj(path)
+        assert mesh.faces.tolist() == [[0, 1, 2]]
+
+    def test_comments_and_unknown_records_skipped(self, tmp_path):
+        path = tmp_path / "noise.obj"
+        path.write_text(
+            "# header\nmtllib foo.mtl\no thing\nvn 0 0 1\nvt 0 0\n"
+            "v 0 0 0\nv 1 0 0\nv 0 1 0\ns off\nf 1 2 3\n"
+        )
+        assert load_obj(path).triangle_count == 1
+
+    def test_out_of_range_index_rejected(self, tmp_path):
+        path = tmp_path / "bad.obj"
+        path.write_text("v 0 0 0\nf 1 2 3\n")
+        with pytest.raises(ObjFormatError):
+            load_obj(path)
+
+    def test_zero_index_rejected(self, tmp_path):
+        path = tmp_path / "zero.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 0 1 2\n")
+        with pytest.raises(ObjFormatError):
+            load_obj(path)
+
+    def test_short_face_rejected(self, tmp_path):
+        path = tmp_path / "short.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nf 1 2\n")
+        with pytest.raises(ObjFormatError):
+            load_obj(path)
+
+    def test_bad_coordinate_rejected(self, tmp_path):
+        path = tmp_path / "badv.obj"
+        path.write_text("v 0 zero 0\n")
+        with pytest.raises(ObjFormatError):
+            load_obj(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.obj"
+        path.write_text("# nothing\n")
+        with pytest.raises(ObjFormatError):
+            load_obj(path)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mesh_fn", [box, lambda: sphere(stacks=5, slices=7)])
+    def test_save_load_roundtrip(self, tmp_path, mesh_fn):
+        original = mesh_fn()
+        path = save_obj(original, tmp_path / "mesh.obj")
+        restored = load_obj(path)
+        assert restored.triangle_count == original.triangle_count
+        assert np.allclose(restored.vertices, original.vertices)
+        assert np.array_equal(restored.faces, original.faces)
+
+    def test_roundtrip_through_pipeline(self, tmp_path):
+        """An imported mesh must drive the full BVH/traversal stack."""
+        from repro.bvh import build_wide_bvh
+        from repro.geometry import Ray
+        from repro.traversal import traverse_dfs
+
+        path = save_obj(box(half_extents=(1.0, 1.0, 1.0)), tmp_path / "box.obj")
+        mesh = load_obj(path)
+        bvh = build_wide_bvh(mesh.triangles(), name="imported")
+        bvh.validate()
+        ray = Ray(origin=(0.0, 0.0, 5.0), direction=(0.0, 0.0, -1.0))
+        assert traverse_dfs(ray, bvh).hit is not None

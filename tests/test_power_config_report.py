@@ -1,0 +1,121 @@
+"""Unit tests for the power model, GPU configs, and report helpers."""
+
+import pytest
+
+from repro.core import (
+    banner,
+    default_config,
+    format_percent,
+    format_series,
+    format_table,
+    geomean,
+    paper_config,
+    smoke_config,
+)
+from repro.core.config import GpuConfig, CacheConfig
+from repro.gpusim.stats import SimStats
+from repro.power import EnergyModel, PowerReport, evaluate_power
+
+
+class TestEnergyModel:
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(dram_access_energy=-1.0)
+
+    def test_zero_activity_zero_dynamic(self):
+        stats = SimStats(cycles=100)
+        report = evaluate_power(stats)
+        assert report.dynamic_energy == 0.0
+        assert report.static_energy > 0.0
+
+    def test_static_scales_with_cycles(self):
+        model = EnergyModel(static_power_per_cycle=2.0)
+        short = evaluate_power(SimStats(cycles=10), model)
+        long = evaluate_power(SimStats(cycles=100), model)
+        assert long.static_energy == 10 * short.static_energy
+
+    def test_dram_dominates_sram(self):
+        model = EnergyModel()
+        assert model.dram_access_energy > model.l2_access_energy
+        assert model.l2_access_energy > model.l1_access_energy
+
+    def test_avg_power_definition(self):
+        report = PowerReport(dynamic_energy=50.0, static_energy=50.0, cycles=10)
+        assert report.avg_power == pytest.approx(10.0)
+        assert report.total_energy == pytest.approx(100.0)
+
+    def test_faster_same_traffic_saves_energy(self):
+        slow = SimStats(cycles=1000)
+        slow.visits_completed = 100
+        fast = SimStats(cycles=500)
+        fast.visits_completed = 100
+        assert (
+            evaluate_power(fast).total_energy
+            < evaluate_power(slow).total_energy
+        )
+
+
+class TestConfigs:
+    def test_paper_config_matches_table1(self):
+        config = paper_config()
+        assert config.n_sms == 8
+        assert config.warp_size == 32
+        assert config.warp_buffer_size == 16
+        assert config.l1.size_bytes == 64 * 1024
+        assert config.l1.associativity == 0  # fully associative
+        assert config.l1.latency == 20
+        assert config.l2.size_bytes == 3 * 1024 * 1024
+        assert config.l2.associativity == 16
+        assert config.l2.latency == 160
+        assert config.dram.partitions == 4
+        assert config.dram.partition_stride == 256
+
+    def test_default_config_keeps_latencies(self):
+        config = default_config()
+        assert config.l1.latency == paper_config().l1.latency
+        assert config.l2.latency == paper_config().l2.latency
+        assert config.l1.size_bytes < paper_config().l1.size_bytes
+
+    def test_smoke_config_is_tiny(self):
+        assert smoke_config().l1.size_bytes <= 4096
+
+    def test_line_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GpuConfig(
+                l1=CacheConfig(size_bytes=1024, line_bytes=64),
+                l2=CacheConfig(size_bytes=2048, line_bytes=128,
+                               associativity=2),
+            )
+
+    def test_sm_count_validation(self):
+        with pytest.raises(ValueError):
+            GpuConfig(n_sms=0)
+
+
+class TestReport:
+    def test_geomean_basics(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["bb", 20.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "20.250" in lines[3]
+
+    def test_format_series(self):
+        out = format_series("title", {"a": 1.0, "bb": 2.0}, unit="x")
+        assert out.startswith("title")
+        assert "x" in out
+
+    def test_format_percent(self):
+        assert format_percent(0.321) == "+32.1%"
+        assert format_percent(-0.037) == "-3.7%"
+
+    def test_banner_contains_text(self):
+        assert "hello" in banner("hello")

@@ -1,0 +1,123 @@
+"""Unit tests for rays, triangles, and meshes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Mesh, Ray, RayKind, Triangle, merge_meshes
+
+
+class TestRay:
+    def test_direction_is_normalized(self):
+        ray = Ray(origin=(0.0, 0.0, 0.0), direction=(0.0, 0.0, 10.0))
+        assert ray.direction == pytest.approx((0.0, 0.0, 1.0))
+
+    def test_at_walks_along_direction(self):
+        ray = Ray(origin=(1.0, 0.0, 0.0), direction=(0.0, 1.0, 0.0))
+        assert ray.at(2.5) == pytest.approx((1.0, 2.5, 0.0))
+
+    def test_unique_ids(self):
+        a = Ray(origin=(0.0, 0.0, 0.0), direction=(1.0, 0.0, 0.0))
+        b = Ray(origin=(0.0, 0.0, 0.0), direction=(1.0, 0.0, 0.0))
+        assert a.ray_id != b.ray_id
+
+    def test_clone_restores_interval_and_keeps_id(self):
+        ray = Ray(origin=(0.0, 0.0, 0.0), direction=(1.0, 0.0, 0.0))
+        ray.t_max = 3.0  # traversal shrank it
+        clone = ray.clone()
+        assert clone.ray_id == ray.ray_id
+        assert clone.t_max == float("inf")
+
+    def test_invalid_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            Ray(origin=(0.0, 0.0, 0.0), direction=(1.0, 0.0, 0.0), t_min=-1.0)
+        with pytest.raises(ValueError):
+            Ray(
+                origin=(0.0, 0.0, 0.0),
+                direction=(1.0, 0.0, 0.0),
+                t_min=2.0,
+                t_max=1.0,
+            )
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Ray(origin=(0.0, 0.0, 0.0), direction=(0.0, 0.0, 0.0))
+
+    def test_kind_default_primary(self):
+        ray = Ray(origin=(0.0, 0.0, 0.0), direction=(1.0, 0.0, 0.0))
+        assert ray.kind is RayKind.PRIMARY
+
+
+class TestTriangle:
+    def test_bounds_enclose_vertices(self, unit_triangle):
+        box = unit_triangle.bounds()
+        for vertex in (unit_triangle.v0, unit_triangle.v1, unit_triangle.v2):
+            assert box.contains_point(vertex)
+
+    def test_centroid_is_vertex_mean(self, unit_triangle):
+        assert unit_triangle.centroid() == pytest.approx(
+            (1.0 / 3.0, 1.0 / 3.0, 0.0)
+        )
+
+    def test_area_of_unit_right_triangle(self, unit_triangle):
+        assert unit_triangle.area() == pytest.approx(0.5)
+
+    def test_normal_is_unit_and_perpendicular(self, unit_triangle):
+        normal = unit_triangle.normal()
+        assert normal == pytest.approx((0.0, 0.0, 1.0))
+
+    def test_degenerate_detection(self):
+        degenerate = Triangle(
+            (0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (2.0, 2.0, 2.0), 0
+        )
+        assert degenerate.is_degenerate()
+
+    def test_nondegenerate(self, unit_triangle):
+        assert not unit_triangle.is_degenerate()
+
+
+class TestMesh:
+    def test_triangle_materialization_ids(self):
+        mesh = Mesh(
+            np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]], float),
+            np.array([[0, 1, 2], [1, 3, 2]]),
+        )
+        tris = mesh.triangles(id_offset=10)
+        assert [t.primitive_id for t in tris] == [10, 11]
+
+    def test_face_index_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(np.zeros((2, 3)), np.array([[0, 1, 2]]))
+
+    def test_negative_face_index_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(np.zeros((3, 3)), np.array([[0, -1, 2]]))
+
+    def test_translated_moves_bounds(self):
+        mesh = Mesh(np.zeros((3, 3)), np.array([[0, 1, 2]]))
+        moved = mesh.translated((1.0, 2.0, 3.0))
+        assert moved.bounds().lo == pytest.approx((1.0, 2.0, 3.0))
+
+    def test_scaled_requires_positive_factor(self):
+        mesh = Mesh(np.zeros((3, 3)), np.array([[0, 1, 2]]))
+        with pytest.raises(ValueError):
+            mesh.scaled(0.0)
+
+    def test_rotation_preserves_triangle_count_and_y(self):
+        mesh = Mesh(
+            np.array([[1.0, 2.0, 0.0], [0.0, 2.0, 1.0], [1.0, 2.0, 1.0]]),
+            np.array([[0, 1, 2]]),
+        )
+        rotated = mesh.rotated_y(1.234)
+        assert rotated.triangle_count == 1
+        assert rotated.vertices[:, 1] == pytest.approx(mesh.vertices[:, 1])
+
+    def test_merge_remaps_indices(self):
+        a = Mesh(np.zeros((3, 3)), np.array([[0, 1, 2]]))
+        b = Mesh(np.ones((3, 3)), np.array([[0, 1, 2]]))
+        merged = merge_meshes([a, b])
+        assert merged.triangle_count == 2
+        assert merged.faces[1].tolist() == [3, 4, 5]
+
+    def test_merge_empty_list(self):
+        merged = merge_meshes([])
+        assert merged.triangle_count == 0

@@ -1,0 +1,90 @@
+"""Unit tests for multi-bounce ray generation."""
+
+import pytest
+
+from repro.bvh import build_wide_bvh
+from repro.geometry import RayKind
+from repro.scenes import RayGenConfig, build_scene, generate_rays
+
+
+@pytest.fixture(scope="module")
+def scene_and_bvh():
+    """A camera *inside* a closed box: every bounce hits a wall, so
+    multi-bounce generations never die out."""
+    from repro.scenes import Camera, box
+
+    mesh = box(center=(0.0, 0.0, 0.0), half_extents=(4.0, 4.0, 4.0))
+    bvh = build_wide_bvh(mesh.triangles(), name="box-interior")
+    camera = Camera(position=(0.0, 0.0, 0.5), look_at=(1.0, 0.2, 0.0))
+
+    class SceneLike:
+        pass
+
+    scene = SceneLike()
+    scene.camera = camera
+    return scene, bvh
+
+
+def count_kinds(rays):
+    counts = {}
+    for ray in rays:
+        counts[ray.kind] = counts.get(ray.kind, 0) + 1
+    return counts
+
+
+class TestBounces:
+    def test_zero_bounces_primary_only(self, scene_and_bvh):
+        scene, bvh = scene_and_bvh
+        rays = generate_rays(
+            scene.camera, bvh, RayGenConfig(8, 8, bounces=0, seed=1)
+        )
+        assert len(rays) == 64
+        assert count_kinds(rays) == {RayKind.PRIMARY: 64}
+
+    def test_more_bounces_more_rays(self, scene_and_bvh):
+        scene, bvh = scene_and_bvh
+        one = generate_rays(
+            scene.camera, bvh, RayGenConfig(8, 8, bounces=1, seed=1)
+        )
+        three = generate_rays(
+            scene.camera, bvh, RayGenConfig(8, 8, bounces=3, seed=1)
+        )
+        assert len(three) > len(one)
+
+    def test_bounce_population_shrinks_per_generation(self, scene_and_bvh):
+        """Each bounce generation can only lose rays (misses terminate)."""
+        scene, bvh = scene_and_bvh
+        rays = generate_rays(
+            scene.camera, bvh,
+            RayGenConfig(8, 8, bounces=4, shadow_rays=False, seed=2),
+        )
+        n_secondary = count_kinds(rays).get(RayKind.SECONDARY, 0)
+        n_primary = count_kinds(rays)[RayKind.PRIMARY]
+        assert n_secondary <= 4 * n_primary
+
+    def test_shadow_rays_per_bounce(self, scene_and_bvh):
+        scene, bvh = scene_and_bvh
+        with_shadows = generate_rays(
+            scene.camera, bvh, RayGenConfig(8, 8, bounces=2, seed=1)
+        )
+        kinds = count_kinds(with_shadows)
+        # One shadow ray per spawned bounce ray.
+        assert kinds.get(RayKind.SHADOW, 0) == kinds.get(RayKind.SECONDARY, 0)
+
+    def test_negative_bounces_rejected(self):
+        with pytest.raises(ValueError):
+            RayGenConfig(8, 8, bounces=-1)
+
+    def test_deterministic(self, scene_and_bvh):
+        scene, bvh = scene_and_bvh
+        a = generate_rays(
+            scene.camera, bvh, RayGenConfig(8, 8, bounces=2, seed=9)
+        )
+        b = generate_rays(
+            scene.camera, bvh, RayGenConfig(8, 8, bounces=2, seed=9)
+        )
+        assert len(a) == len(b)
+        assert all(
+            ra.origin == rb.origin and ra.direction == rb.direction
+            for ra, rb in zip(a, b)
+        )

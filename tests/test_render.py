@@ -1,0 +1,111 @@
+"""Unit tests for the render module, including the image-equality
+cross-check between the two traversal algorithms."""
+
+import pytest
+
+from repro.render import Image, RenderConfig, render
+from repro.scenes import Camera
+from repro.treelet import form_treelets
+
+
+@pytest.fixture
+def camera(sphere_bvh):
+    return Camera(position=(0.0, 1.5, 4.0), look_at=(0.0, 0.0, 0.0))
+
+
+class TestImage:
+    def test_set_get_roundtrip(self):
+        image = Image(4, 3)
+        image.set(2, 1, 0.5)
+        assert image.get(2, 1) == 0.5
+
+    def test_out_of_range_rejected(self):
+        image = Image(4, 3)
+        with pytest.raises(IndexError):
+            image.set(4, 0, 1.0)
+        with pytest.raises(IndexError):
+            image.get(0, 3)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Image(0, 4)
+
+    def test_mean_and_coverage(self):
+        image = Image(2, 2)
+        image.set(0, 0, 1.0)
+        assert image.mean() == pytest.approx(0.25)
+        assert image.coverage() == pytest.approx(0.25)
+
+    def test_max_abs_difference(self):
+        a, b = Image(2, 2), Image(2, 2)
+        b.set(1, 1, 0.3)
+        assert a.max_abs_difference(b) == pytest.approx(0.3)
+
+    def test_difference_requires_same_shape(self):
+        with pytest.raises(ValueError):
+            Image(2, 2).max_abs_difference(Image(3, 2))
+
+    def test_ascii_dimensions(self):
+        image = Image(8, 8)
+        art = image.to_ascii()
+        assert len(art.splitlines()) == 8
+        assert all(len(line) == 16 for line in art.splitlines())
+
+    def test_pgm_output(self, tmp_path):
+        image = Image(2, 2)
+        image.set(0, 0, 1.0)
+        out = image.write_pgm(tmp_path / "frame.pgm")
+        content = out.read_text().split()
+        assert content[0] == "P2"
+        assert "255" in content
+
+    def test_pgm_clamps_values(self, tmp_path):
+        image = Image(1, 1)
+        image.set(0, 0, 2.5)
+        out = image.write_pgm(tmp_path / "clamp.pgm")
+        assert out.read_text().split()[-1] == "255"
+
+
+class TestRender:
+    def test_sphere_renders_nonempty(self, sphere_bvh, camera):
+        image = render(sphere_bvh, camera, RenderConfig(width=16, height=16))
+        assert image.coverage() > 0.1
+        assert 0.0 < image.mean() < 1.0
+
+    def test_center_brighter_than_corner(self, sphere_bvh, camera):
+        image = render(sphere_bvh, camera, RenderConfig(width=16, height=16))
+        assert image.get(8, 8) > image.get(0, 0)
+
+    def test_dfs_and_two_stack_render_identically(self, sphere_bvh, camera):
+        """Algorithm 1 reorders node visits but must not change a single
+        pixel of the final image."""
+        config = RenderConfig(width=16, height=16)
+        decomposition = form_treelets(sphere_bvh, 512)
+        dfs_image = render(sphere_bvh, camera, config)
+        treelet_image = render(
+            sphere_bvh, camera, config, decomposition=decomposition
+        )
+        assert dfs_image.max_abs_difference(treelet_image) < 1e-12
+
+    def test_shadows_darken(self, small_bvh):
+        camera = Camera(position=(0.0, 6.0, 14.0), look_at=(0.0, 0.0, 0.0))
+        lit = render(
+            small_bvh, camera,
+            RenderConfig(width=12, height=12, shadows=False),
+        )
+        shadowed = render(
+            small_bvh, camera,
+            RenderConfig(width=12, height=12, shadows=True),
+        )
+        assert shadowed.mean() <= lit.mean() + 1e-12
+
+    def test_miss_pixels_are_black(self, sphere_bvh):
+        away = Camera(position=(0.0, 0.0, 4.0), look_at=(0.0, 0.0, 8.0))
+        image = render(sphere_bvh, away, RenderConfig(width=8, height=8))
+        assert image.mean() == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RenderConfig(width=0)
+        with pytest.raises(ValueError):
+            RenderConfig(ambient=1.5)

@@ -1,0 +1,113 @@
+"""Unit tests for treelet repacking and the mapping table (Section 4.4)."""
+
+import pytest
+
+from repro.bvh import NODE_SIZE_BYTES, dfs_layout
+from repro.bvh.layout import BVH_BASE_ADDRESS
+from repro.treelet import (
+    MAPPING_ENTRY_BYTES,
+    build_mapping_table,
+    treelet_layout,
+    treelet_node_addresses,
+)
+
+
+class TestTreeletLayout:
+    def test_slot_alignment(self, decomposition):
+        layout = treelet_layout(decomposition)
+        for treelet in decomposition.treelets:
+            root_addr = layout.address_of(treelet.root_id)
+            assert (root_addr - BVH_BASE_ADDRESS) % decomposition.max_bytes == 0
+
+    def test_members_contiguous_within_slot(self, decomposition):
+        layout = treelet_layout(decomposition)
+        for treelet in decomposition.treelets:
+            addrs = [layout.address_of(n) for n in treelet.node_ids]
+            assert addrs == list(
+                range(addrs[0], addrs[0] + len(addrs) * NODE_SIZE_BYTES,
+                      NODE_SIZE_BYTES)
+            )
+
+    def test_all_nodes_unique_addresses(self, small_bvh, decomposition):
+        layout = treelet_layout(decomposition)
+        addrs = set(layout.node_address.values())
+        assert len(addrs) == len(small_bvh)
+
+    def test_node_treelet_populated(self, small_bvh, decomposition):
+        layout = treelet_layout(decomposition)
+        for node in small_bvh.nodes:
+            assert layout.treelet_of(node.node_id) == decomposition.treelet_of(
+                node.node_id
+            )
+
+    def test_stride_spreads_roots(self, decomposition):
+        packed = treelet_layout(decomposition, stride_bytes=0)
+        strided = treelet_layout(decomposition, stride_bytes=256)
+        if decomposition.treelet_count >= 2:
+            t1 = decomposition.treelets[1]
+            delta_packed = packed.address_of(t1.root_id) - BVH_BASE_ADDRESS
+            delta_strided = strided.address_of(t1.root_id) - BVH_BASE_ADDRESS
+            assert delta_packed == decomposition.max_bytes
+            assert delta_strided == decomposition.max_bytes + 256
+
+    def test_negative_stride_rejected(self, decomposition):
+        with pytest.raises(ValueError):
+            treelet_layout(decomposition, stride_bytes=-1)
+
+    def test_prefix_addresses_fraction(self, decomposition):
+        layout = treelet_layout(decomposition)
+        treelet = max(decomposition.treelets, key=lambda t: t.node_count)
+        full = treelet_node_addresses(decomposition, layout,
+                                      treelet.treelet_id, 1.0)
+        half = treelet_node_addresses(decomposition, layout,
+                                      treelet.treelet_id, 0.5)
+        assert len(full) == treelet.node_count
+        assert len(half) == max(1, round(0.5 * treelet.node_count))
+        assert half == full[: len(half)]
+
+    def test_fraction_bounds_checked(self, decomposition):
+        layout = treelet_layout(decomposition)
+        with pytest.raises(ValueError):
+            treelet_node_addresses(decomposition, layout, 0, 1.5)
+
+
+class TestMappingTable:
+    def test_size_is_4_bytes_per_node(self, small_bvh, decomposition):
+        layout = dfs_layout(small_bvh)
+        table = build_mapping_table(decomposition, layout)
+        assert table.size_bytes == len(small_bvh) * MAPPING_ENTRY_BYTES
+
+    def test_entries_beyond_primitive_region(self, small_bvh, decomposition):
+        layout = dfs_layout(small_bvh)
+        table = build_mapping_table(decomposition, layout)
+        prim_end = layout.primitive_base + small_bvh.primitive_bytes()
+        assert table.base_address >= prim_end
+
+    def test_lookup_matches_decomposition(self, small_bvh, decomposition):
+        layout = dfs_layout(small_bvh)
+        table = build_mapping_table(decomposition, layout)
+        for node in small_bvh.nodes:
+            assert table.lookup(node.node_id) == decomposition.treelet_of(
+                node.node_id
+            )
+
+    def test_entry_addresses_strided(self, small_bvh, decomposition):
+        layout = dfs_layout(small_bvh)
+        table = build_mapping_table(decomposition, layout)
+        assert (
+            table.entry_address(2) - table.entry_address(1)
+            == MAPPING_ENTRY_BYTES
+        )
+
+    def test_out_of_range_entry_rejected(self, small_bvh, decomposition):
+        layout = dfs_layout(small_bvh)
+        table = build_mapping_table(decomposition, layout)
+        with pytest.raises(IndexError):
+            table.entry_address(len(small_bvh))
+
+    def test_table_loads_cover_treelet_members(self, small_bvh, decomposition):
+        layout = dfs_layout(small_bvh)
+        table = build_mapping_table(decomposition, layout)
+        treelet = decomposition.treelets[0]
+        addrs = table.table_load_addresses(treelet.treelet_id)
+        assert len(addrs) == treelet.node_count

@@ -1,0 +1,264 @@
+"""Focused unit tests for the RT unit: coalescing, port limits, prefetch
+arbitration, and the primitive-fetch flow."""
+
+import pytest
+
+from repro.bvh import dfs_layout
+from repro.core.config import CacheConfig, GpuConfig
+from repro.gpusim import EventQueue, MemorySystem, RTUnit, RayState, RayTask
+from repro.prefetch import Prefetcher, PrefetchRequest
+from repro.traversal import NodeVisit, RayTrace
+from repro.treelet import form_treelets, treelet_layout
+
+
+def tiny_config(**kw):
+    defaults = dict(
+        n_sms=1,
+        warp_buffer_size=4,
+        mem_ports=2,
+        l1=CacheConfig(size_bytes=2048, line_bytes=128, latency=20),
+        l2=CacheConfig(
+            size_bytes=8 * 1024, line_bytes=128, associativity=8, latency=160
+        ),
+    )
+    defaults.update(kw)
+    return GpuConfig(**defaults)
+
+
+def make_unit(config=None, prefetcher=None, policy="baseline"):
+    config = config or tiny_config()
+    events = EventQueue()
+    memsys = MemorySystem(config, events)
+    unit = RTUnit(0, config, memsys, events,
+                  scheduler_policy=policy, prefetcher=prefetcher)
+    return unit, memsys, events
+
+
+def node_trace(bvh, node_ids, ray_id=0):
+    visits = [
+        NodeVisit(
+            node_id=node_id,
+            is_leaf=bvh.node(node_id).is_leaf,
+            primitive_count=len(bvh.node(node_id).primitive_ids),
+        )
+        for node_id in node_ids
+    ]
+    return RayTrace(ray_id=ray_id, visits=visits)
+
+
+def run(unit, events, max_cycles=100_000):
+    cycle = 0
+    while unit.busy():
+        events.run_due(cycle)
+        unit.step(cycle)
+        cycle += 1
+        assert cycle < max_cycles, "RT unit did not drain"
+    while len(events):
+        events.run_due(events.next_cycle())
+    return cycle
+
+
+class TestCoalescing:
+    def test_same_node_same_cycle_single_access(self, small_bvh):
+        """32 rays fetching the root in one cycle coalesce to one load."""
+        layout = dfs_layout(small_bvh)
+        unit, memsys, events = make_unit()
+        rays = [
+            RayTask(
+                trace=node_trace(small_bvh, [0], ray_id=i),
+                bvh=small_bvh,
+                layout=layout,
+                line_bytes=128,
+            )
+            for i in range(8)
+        ]
+        unit.add_warp(rays)
+        run(unit, events)
+        assert unit.stats.node_fetches_issued == 1
+        assert unit.stats.visits_completed == 8
+
+    def test_distinct_lines_up_to_port_limit(self, small_bvh):
+        """Rays on different lines issue separately, capped per cycle."""
+        layout = dfs_layout(small_bvh)
+        # Pick nodes on distinct cache lines.
+        line_bytes = 128
+        chosen = []
+        seen_lines = set()
+        for node in small_bvh.nodes:
+            line = layout.address_of(node.node_id) // line_bytes
+            if line not in seen_lines:
+                seen_lines.add(line)
+                chosen.append(node.node_id)
+            if len(chosen) == 4:
+                break
+        unit, memsys, events = make_unit(tiny_config(mem_ports=2))
+        rays = [
+            RayTask(
+                trace=node_trace(small_bvh, [node_id], ray_id=i),
+                bvh=small_bvh,
+                layout=layout,
+                line_bytes=line_bytes,
+            )
+            for i, node_id in enumerate(chosen)
+        ]
+        unit.add_warp(rays)
+        events.run_due(0)
+        unit.step(0)  # admission + first issue cycle
+        assert unit.stats.node_fetches_issued <= 2  # port limit per cycle
+        unit.step(1)
+        assert unit.stats.node_fetches_issued <= 4
+        run(unit, events)
+        assert unit.stats.node_fetches_issued == len(chosen)
+
+
+class TestPrimitiveFlow:
+    def test_leaf_generates_primitive_fetches(self, small_bvh):
+        layout = dfs_layout(small_bvh)
+        leaf_id = small_bvh.leaf_ids()[0]
+        unit, memsys, events = make_unit()
+        ray = RayTask(
+            trace=node_trace(small_bvh, [leaf_id]),
+            bvh=small_bvh,
+            layout=layout,
+            line_bytes=128,
+        )
+        unit.add_warp([ray])
+        run(unit, events)
+        assert unit.stats.primitive_fetches_issued >= 1
+        assert ray.done
+
+    def test_internal_node_no_primitive_fetch(self, small_bvh):
+        layout = dfs_layout(small_bvh)
+        unit, memsys, events = make_unit()
+        ray = RayTask(
+            trace=node_trace(small_bvh, [small_bvh.ROOT_ID]),
+            bvh=small_bvh,
+            layout=layout,
+            line_bytes=128,
+        )
+        unit.add_warp([ray])
+        run(unit, events)
+        assert unit.stats.primitive_fetches_issued == 0
+
+
+class TestPrefetchArbitration:
+    class CountingPrefetcher(Prefetcher):
+        """Emits a fixed list of prefetches; records pop cycles."""
+
+        def __init__(self, addresses):
+            super().__init__()
+            self.addresses = list(addresses)
+            self.pop_cycles = []
+
+        def pop_prefetch(self, cycle):
+            if not self.addresses:
+                return None
+            self.pop_cycles.append(cycle)
+            return PrefetchRequest(address=self.addresses.pop(0))
+
+        def queue_depth(self):
+            return len(self.addresses)
+
+    def test_at_most_one_prefetch_per_cycle(self, small_bvh):
+        layout = dfs_layout(small_bvh)
+        prefetcher = self.CountingPrefetcher(
+            [0x9000 + i * 128 for i in range(6)]
+        )
+        unit, memsys, events = make_unit(prefetcher=prefetcher)
+        unit.add_warp([
+            RayTask(
+                trace=node_trace(small_bvh, [0]),
+                bvh=small_bvh,
+                layout=layout,
+                line_bytes=128,
+            )
+        ])
+        run(unit, events)
+        assert len(prefetcher.pop_cycles) == 6
+        assert len(set(prefetcher.pop_cycles)) == 6  # one per cycle
+        assert unit.stats.prefetches_issued == 6
+
+    def test_prefetches_drain_even_after_warps_finish(self, small_bvh):
+        layout = dfs_layout(small_bvh)
+        prefetcher = self.CountingPrefetcher([0x9000])
+        unit, memsys, events = make_unit(prefetcher=prefetcher)
+        unit.add_warp([
+            RayTask(
+                trace=node_trace(small_bvh, [0]),
+                bvh=small_bvh,
+                layout=layout,
+                line_bytes=128,
+            )
+        ])
+        run(unit, events)
+        assert prefetcher.queue_depth() == 0
+
+
+class TestWarpBufferFlow:
+    def test_buffer_capacity_respected(self, small_bvh):
+        layout = dfs_layout(small_bvh)
+        config = tiny_config(warp_buffer_size=2)
+        unit, memsys, events = make_unit(config)
+        for i in range(5):
+            unit.add_warp([
+                RayTask(
+                    trace=node_trace(small_bvh, [0], ray_id=i),
+                    bvh=small_bvh,
+                    layout=layout,
+                    line_bytes=128,
+                )
+            ])
+        events.run_due(0)
+        unit.step(0)
+        unit.step(1)
+        unit.step(2)
+        assert len(unit.buffer) <= 2
+        run(unit, events)
+        assert unit.stats.warps_retired == 5
+
+    def test_warp_latency_recorded(self, small_bvh):
+        layout = dfs_layout(small_bvh)
+        unit, memsys, events = make_unit()
+        unit.add_warp([
+            RayTask(
+                trace=node_trace(small_bvh, [0]),
+                bvh=small_bvh,
+                layout=layout,
+                line_bytes=128,
+            )
+        ])
+        run(unit, events)
+        assert unit.stats.warp_latency_total > 0
+
+    def test_oversized_warp_rejected(self, small_bvh):
+        layout = dfs_layout(small_bvh)
+        unit, memsys, events = make_unit()
+        rays = [
+            RayTask(
+                trace=node_trace(small_bvh, [0], ray_id=i),
+                bvh=small_bvh,
+                layout=layout,
+                line_bytes=128,
+            )
+            for i in range(33)
+        ]
+        with pytest.raises(ValueError):
+            unit.add_warp(rays)
+
+
+class TestVoteVersion:
+    def test_version_advances_with_progress(self, small_bvh, decomposition):
+        layout = treelet_layout(decomposition)
+        unit, memsys, events = make_unit()
+        path = [0] + list(small_bvh.root.child_ids[:1])
+        unit.add_warp([
+            RayTask(
+                trace=node_trace(small_bvh, path),
+                bvh=small_bvh,
+                layout=layout,
+                line_bytes=128,
+            )
+        ])
+        initial = unit.vote_version
+        run(unit, events)
+        assert unit.vote_version > initial

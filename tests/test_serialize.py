@@ -1,0 +1,89 @@
+"""Unit tests for trace serialization."""
+
+import json
+
+import pytest
+
+from repro.geometry import Ray
+from repro.traversal import (
+    load_traces,
+    save_traces,
+    summarize_traces,
+    trace_from_dict,
+    trace_to_dict,
+    traverse_dfs_batch,
+)
+
+
+@pytest.fixture
+def traces(small_bvh):
+    rays = [
+        Ray(
+            origin=(0.0, 0.0, 12.0),
+            direction=(0.05 * i - 0.4, 0.02 * i - 0.2, -1.0),
+        )
+        for i in range(16)
+    ]
+    return traverse_dfs_batch(rays, small_bvh)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_visits(self, traces):
+        for trace in traces:
+            restored = trace_from_dict(trace_to_dict(trace))
+            assert restored.ray_id == trace.ray_id
+            assert restored.visits == trace.visits
+            assert restored.box_tests == trace.box_tests
+            assert restored.primitive_tests == trace.primitive_tests
+
+    def test_dict_roundtrip_preserves_hits(self, traces):
+        for trace in traces:
+            restored = trace_from_dict(trace_to_dict(trace))
+            assert (restored.hit is None) == (trace.hit is None)
+            if trace.hit is not None:
+                assert restored.hit.t == trace.hit.t
+                assert restored.hit.primitive_id == trace.hit.primitive_id
+
+    def test_file_roundtrip(self, traces, tmp_path):
+        path = save_traces(traces, tmp_path / "traces.json")
+        restored = load_traces(path)
+        assert summarize_traces(restored).total_nodes == summarize_traces(
+            traces
+        ).total_nodes
+        assert [t.ray_id for t in restored] == [t.ray_id for t in traces]
+
+    def test_file_is_plain_json(self, traces, tmp_path):
+        path = save_traces(traces, tmp_path / "traces.json")
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert len(payload["traces"]) == len(traces)
+
+
+class TestValidation:
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "traces": []}))
+        with pytest.raises(ValueError):
+            load_traces(path)
+
+    def test_misaligned_visits_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_dict({"ray_id": 0, "visits": [1, 0]})
+
+    def test_empty_batch(self, tmp_path):
+        path = save_traces([], tmp_path / "empty.json")
+        assert load_traces(path) == []
+
+    def test_loaded_traces_drive_timing_model(self, traces, small_bvh, tmp_path):
+        """Serialized traces must be usable as timing-model input."""
+        from repro.bvh import dfs_layout
+        from repro.core.config import smoke_config
+        from repro.gpusim import GpuModel
+
+        path = save_traces(traces, tmp_path / "traces.json")
+        restored = load_traces(path)
+        model = GpuModel(smoke_config())
+        model.load(restored, small_bvh, dfs_layout(small_bvh))
+        direct = GpuModel(smoke_config())
+        direct.load(traces, small_bvh, dfs_layout(small_bvh))
+        assert model.run().cycles == direct.run().cycles

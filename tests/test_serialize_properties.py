@@ -1,0 +1,76 @@
+"""Property tests: trace serialization round-trips arbitrary traces."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Hit
+from repro.traversal import (
+    NodeVisit,
+    RayTrace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.tuples(finite, finite, finite)
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(0, 30))
+    visits = []
+    for _ in range(n):
+        is_leaf = draw(st.booleans())
+        visits.append(
+            NodeVisit(
+                node_id=draw(st.integers(0, 10_000)),
+                is_leaf=is_leaf,
+                primitive_count=draw(st.integers(0, 8)) if is_leaf else 0,
+            )
+        )
+    hit = None
+    if draw(st.booleans()):
+        hit = Hit(
+            t=draw(st.floats(min_value=1e-6, max_value=1e6,
+                             allow_nan=False)),
+            primitive_id=draw(st.integers(0, 10_000)),
+            point=draw(points),
+            normal=draw(points),
+        )
+    return RayTrace(
+        ray_id=draw(st.integers(0, 2**31)),
+        visits=visits,
+        hit=hit,
+        box_tests=draw(st.integers(0, 1000)),
+        primitive_tests=draw(st.integers(0, 1000)),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace=traces())
+def test_dict_roundtrip_identity(trace):
+    restored = trace_from_dict(trace_to_dict(trace))
+    assert restored.ray_id == trace.ray_id
+    assert restored.visits == trace.visits
+    assert restored.box_tests == trace.box_tests
+    assert restored.primitive_tests == trace.primitive_tests
+    assert (restored.hit is None) == (trace.hit is None)
+    if trace.hit is not None:
+        assert restored.hit.t == trace.hit.t
+        assert restored.hit.primitive_id == trace.hit.primitive_id
+        assert restored.hit.point == trace.hit.point
+        assert restored.hit.normal == trace.hit.normal
+
+
+@settings(max_examples=50, deadline=None)
+@given(batch=st.lists(traces(), max_size=10))
+def test_file_roundtrip_identity(batch, tmp_path_factory):
+    from repro.traversal import load_traces, save_traces
+
+    path = tmp_path_factory.mktemp("traces") / "batch.json"
+    save_traces(batch, path)
+    restored = load_traces(path)
+    assert len(restored) == len(batch)
+    for a, b in zip(batch, restored):
+        assert a.visits == b.visits

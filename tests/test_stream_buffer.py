@@ -1,0 +1,132 @@
+"""Unit tests for the stream-buffer prefetch destination."""
+
+import pytest
+
+from repro.core.config import CacheConfig, DramConfig, GpuConfig
+from repro.gpusim import AccessOutcome, EventQueue, MemorySystem
+
+
+def stream_config(**kw):
+    defaults = dict(
+        n_sms=1,
+        prefetch_destination="stream",
+        l1=CacheConfig(size_bytes=512, line_bytes=128, latency=20),
+        stream_buffer=CacheConfig(size_bytes=256, line_bytes=128, latency=20),
+        l2=CacheConfig(
+            size_bytes=2048, line_bytes=128, associativity=2, latency=160
+        ),
+        dram=DramConfig(latency=100, partitions=4, burst_cycles=4),
+    )
+    defaults.update(kw)
+    return GpuConfig(**defaults)
+
+
+@pytest.fixture
+def memsys():
+    events = EventQueue()
+    return MemorySystem(stream_config(), events), events
+
+
+def run_until(events, limit=10_000):
+    while len(events):
+        events.run_due(events.next_cycle())
+
+
+class TestPrefetchPath:
+    def test_prefetch_fills_buffer_not_l1(self, memsys):
+        mem, events = memsys
+        mem.access(0, 0x1000, cycle=0, is_prefetch=True)
+        run_until(events)
+        line = mem.l1s[0].line_of(0x1000)
+        assert mem.stream_buffers[0].contains(line)
+        assert not mem.l1s[0].contains(line)
+
+    def test_demand_hit_migrates_to_l1(self, memsys):
+        mem, events = memsys
+        mem.access(0, 0x1000, cycle=0, is_prefetch=True)
+        run_until(events)
+        done = []
+        mem.access(0, 0x1000, cycle=1000, callback=done.append)
+        run_until(events)
+        line = mem.l1s[0].line_of(0x1000)
+        assert done  # demand serviced
+        assert mem.l1s[0].contains(line)
+        assert not mem.stream_buffers[0].contains(line)
+        assert mem.stream_buffer_hits == 1
+
+    def test_buffer_hit_latency_below_l2(self, memsys):
+        mem, events = memsys
+        mem.access(0, 0x1000, cycle=0, is_prefetch=True)
+        run_until(events)
+        done = []
+        mem.access(0, 0x1000, cycle=1000, callback=done.append)
+        run_until(events)
+        # Transfer: L1 probe (miss) + buffer latency; far below the
+        # 180-cycle L2 path.
+        assert done[0] - 1000 < 100
+
+    def test_timely_classification(self, memsys):
+        mem, events = memsys
+        mem.access(0, 0x1000, cycle=0, is_prefetch=True)
+        run_until(events)
+        mem.access(0, 0x1000, cycle=1000, callback=lambda c: None)
+        run_until(events)
+        assert mem.finalize().timely == 1
+
+    def test_demand_catches_inflight_prefetch(self, memsys):
+        mem, events = memsys
+        mem.access(0, 0x1000, cycle=0, is_prefetch=True)
+        done = []
+        mem.access(0, 0x1000, cycle=5, callback=done.append)
+        run_until(events)
+        assert done  # demand eventually serviced via the transfer
+        line = mem.l1s[0].line_of(0x1000)
+        assert mem.l1s[0].contains(line)
+        counts = mem.finalize()
+        assert counts.late == 1
+
+    def test_prefetch_skips_line_already_in_l1(self, memsys):
+        mem, events = memsys
+        mem.access(0, 0x1000, cycle=0, callback=lambda c: None)  # demand
+        run_until(events)
+        outcome = mem.access(0, 0x1000, cycle=1000, is_prefetch=True)
+        run_until(events)
+        assert outcome is AccessOutcome.HIT
+        line = mem.l1s[0].line_of(0x1000)
+        assert not mem.stream_buffers[0].contains(line)
+        assert mem.finalize().too_late == 1
+
+    def test_buffer_eviction_counts_early(self, memsys):
+        mem, events = memsys
+        # The 2-line buffer overflows on the third prefetch.
+        for i in range(3):
+            mem.access(0, 0x1000 + i * 128, cycle=0, is_prefetch=True)
+        run_until(events)
+        counts = mem.finalize()
+        assert counts.early == 1
+        assert counts.unused == 2
+
+    def test_demand_miss_everywhere_goes_to_l2(self, memsys):
+        mem, events = memsys
+        done = []
+        mem.access(0, 0x9000, cycle=0, callback=done.append)
+        run_until(events)
+        assert done == [284]  # full L1+L2+DRAM path
+
+
+class TestConfigValidation:
+    def test_unknown_destination_rejected(self):
+        with pytest.raises(ValueError):
+            GpuConfig(prefetch_destination="l3")
+
+    def test_line_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GpuConfig(
+                stream_buffer=CacheConfig(size_bytes=256, line_bytes=64)
+            )
+
+    def test_l1_destination_has_no_buffers(self):
+        events = EventQueue()
+        mem = MemorySystem(GpuConfig(), events)
+        assert not mem.uses_stream_buffers
+        assert mem.stream_buffers == []

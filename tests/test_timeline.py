@@ -1,0 +1,78 @@
+"""Unit tests for the timeline sampler."""
+
+import pytest
+
+from repro.bvh import dfs_layout
+from repro.core.config import CacheConfig, GpuConfig
+from repro.gpusim import GpuModel, TimelineSampler
+from repro.traversal import traverse_dfs_batch
+from repro.geometry import Ray
+
+
+def tiny_config():
+    return GpuConfig(
+        n_sms=2,
+        warp_buffer_size=4,
+        l1=CacheConfig(size_bytes=1024, line_bytes=128, latency=20),
+        l2=CacheConfig(size_bytes=8 * 1024, line_bytes=128,
+                       associativity=8, latency=160),
+    )
+
+
+@pytest.fixture
+def workload(small_bvh):
+    rays = [
+        Ray(origin=(0.0, 0.0, 12.0),
+            direction=(0.04 * i - 0.8, 0.02 * i - 0.4, -1.0))
+        for i in range(40)
+    ]
+    return traverse_dfs_batch(rays, small_bvh), small_bvh, dfs_layout(small_bvh)
+
+
+class TestSampler:
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            TimelineSampler(interval=0)
+
+    def test_samples_collected(self, workload):
+        traces, bvh, layout = workload
+        sampler = TimelineSampler(interval=16)
+        model = GpuModel(tiny_config(), timeline=sampler)
+        model.load(traces, bvh, layout)
+        stats = model.run()
+        assert sampler.samples
+        assert sampler.samples[0].cycle == 0
+        cycles = sampler.series("cycle")
+        assert cycles == sorted(cycles)
+        assert all(
+            b - a >= 16 for a, b in zip(cycles, cycles[1:])
+        )
+        assert cycles[-1] <= stats.cycles
+
+    def test_observational_only(self, workload):
+        """Attaching a sampler must not perturb the simulation."""
+        traces, bvh, layout = workload
+        plain = GpuModel(tiny_config())
+        plain.load(traces, bvh, layout)
+        baseline = plain.run()
+        sampled = GpuModel(tiny_config(), timeline=TimelineSampler(interval=8))
+        sampled.load(traces, bvh, layout)
+        observed = sampled.run()
+        assert observed.cycles == baseline.cycles
+        assert observed.visits_completed == baseline.visits_completed
+        assert observed.l1.demand_hits == baseline.l1.demand_hits
+
+    def test_series_and_mean(self, workload):
+        traces, bvh, layout = workload
+        sampler = TimelineSampler(interval=32)
+        model = GpuModel(tiny_config(), timeline=sampler)
+        model.load(traces, bvh, layout)
+        model.run()
+        warps = sampler.series("resident_warps")
+        assert len(warps) == len(sampler.samples)
+        assert sampler.mean("resident_warps") == pytest.approx(
+            sum(warps) / len(warps)
+        )
+
+    def test_empty_sampler_mean(self):
+        assert TimelineSampler().mean("ready_rays") == 0.0

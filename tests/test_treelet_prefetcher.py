@@ -1,0 +1,221 @@
+"""Unit tests for the treelet prefetcher and its address map."""
+
+import pytest
+
+from repro.bvh import dfs_layout
+from repro.prefetch import (
+    MajorityVoter,
+    PrefetchHeuristic,
+    TreeletAddressMap,
+    TreeletPrefetcher,
+)
+from repro.treelet import build_mapping_table, treelet_layout
+
+
+class StubWarp:
+    def __init__(self, counts):
+        self.alive_treelet_counts = dict(counts)
+
+    def winner_treelet(self):
+        if not self.alive_treelet_counts:
+            return None
+        return min(
+            self.alive_treelet_counts,
+            key=lambda t: (-self.alive_treelet_counts[t], t),
+        )
+
+
+@pytest.fixture
+def address_map(decomposition):
+    layout = treelet_layout(decomposition)
+    return TreeletAddressMap(decomposition, layout, line_bytes=128)
+
+
+def drain(prefetcher, cycle=10_000):
+    out = []
+    while True:
+        request = prefetcher.pop_prefetch(cycle)
+        if request is None:
+            return out
+        out.append(request)
+
+
+class TestAddressMap:
+    def test_full_treelet_lines(self, decomposition, address_map):
+        treelet = max(decomposition.treelets, key=lambda t: t.node_count)
+        lines = address_map.prefetch_lines(treelet.treelet_id, 1.0)
+        # 8 nodes x 64B over 128B lines -> at most 4 distinct lines.
+        assert 1 <= len(lines) <= 4
+        assert all(addr % 128 == 0 for addr in lines)
+
+    def test_fraction_prefix(self, decomposition, address_map):
+        treelet = max(decomposition.treelets, key=lambda t: t.node_count)
+        full = address_map.prefetch_lines(treelet.treelet_id, 1.0)
+        half = address_map.prefetch_lines(treelet.treelet_id, 0.5)
+        assert half == full[: len(half)]
+
+    def test_zero_fraction_empty(self, address_map):
+        assert address_map.prefetch_lines(0, 0.0) == []
+
+    def test_caching_returns_same_list(self, address_map):
+        assert address_map.prefetch_lines(0, 1.0) is address_map.prefetch_lines(
+            0, 1.0
+        )
+
+    def test_mapping_lines_require_table(self, address_map):
+        assert address_map.mapping_lines(0) == []
+
+    def test_mapping_lines_with_table(self, small_bvh, decomposition):
+        layout = dfs_layout(small_bvh)
+        table = build_mapping_table(decomposition, layout)
+        amap = TreeletAddressMap(decomposition, layout, 128, table)
+        lines = amap.mapping_lines(0)
+        assert lines
+        assert all(addr % 128 == 0 for addr in lines)
+
+
+class TestDecisionFlow:
+    def test_always_prefetches_winner(self, address_map):
+        prefetcher = TreeletPrefetcher(address_map)
+        prefetcher.on_cycle(0, [StubWarp({0: 5})], version=1)
+        requests = drain(prefetcher)
+        assert requests
+        assert prefetcher.last_prefetched_treelet == 0
+        expected = address_map.prefetch_lines(0, 1.0)
+        assert [r.address for r in requests] == expected
+
+    def test_never_same_treelet_twice_in_a_row(self, address_map):
+        prefetcher = TreeletPrefetcher(address_map)
+        prefetcher.on_cycle(0, [StubWarp({0: 5})], version=1)
+        drain(prefetcher)
+        prefetcher.on_cycle(1, [StubWarp({0: 5})], version=2)
+        assert drain(prefetcher) == []
+
+    def test_alternating_treelets_both_prefetched(self, address_map):
+        prefetcher = TreeletPrefetcher(address_map)
+        prefetcher.on_cycle(0, [StubWarp({0: 5})], version=1)
+        first = drain(prefetcher)
+        prefetcher.on_cycle(1, [StubWarp({1: 5})], version=2)
+        second = drain(prefetcher)
+        assert first and second
+        assert first[0].address != second[0].address
+
+    def test_version_gate_skips_recompute(self, address_map):
+        prefetcher = TreeletPrefetcher(address_map)
+        prefetcher.on_cycle(0, [StubWarp({0: 5})], version=1)
+        decisions_before = prefetcher.voter.stats.decisions
+        prefetcher.on_cycle(1, [StubWarp({0: 5})], version=1)
+        assert prefetcher.voter.stats.decisions == decisions_before
+
+    def test_popularity_threshold_blocks_low_ratio(self, address_map):
+        prefetcher = TreeletPrefetcher(
+            address_map,
+            heuristic=PrefetchHeuristic("popularity", threshold=0.5),
+            warp_size=32,
+            warp_buffer_size=16,
+        )
+        # Winner holds 5 of 12 voting rays -> ratio ~0.42 < 0.5.
+        prefetcher.on_cycle(0, [StubWarp({0: 5, 1: 4, 2: 3})], version=1)
+        assert drain(prefetcher) == []
+
+    def test_popularity_threshold_passes_high_ratio(self, address_map):
+        prefetcher = TreeletPrefetcher(
+            address_map,
+            heuristic=PrefetchHeuristic("popularity", threshold=0.5),
+        )
+        # Winner holds 9 of 12 voting rays -> ratio 0.75 >= 0.5.
+        prefetcher.on_cycle(0, [StubWarp({0: 9, 1: 3})], version=1)
+        assert drain(prefetcher)
+
+    def test_partial_prefetches_prefix(self, decomposition, address_map):
+        treelet = max(decomposition.treelets, key=lambda t: t.node_count)
+        other = min(
+            (t for t in decomposition.treelets if t is not treelet),
+            key=lambda t: t.treelet_id,
+        )
+        prefetcher = TreeletPrefetcher(
+            address_map, heuristic=PrefetchHeuristic("partial")
+        )
+        # Winner holds half the votes -> prefetch half the treelet.
+        prefetcher.on_cycle(
+            0,
+            [StubWarp({treelet.treelet_id: 2, other.treelet_id: 1}),
+             StubWarp({other.treelet_id: 1})],
+            version=1,
+        )
+        requests = drain(prefetcher)
+        full = address_map.prefetch_lines(treelet.treelet_id, 1.0)
+        half = address_map.prefetch_lines(treelet.treelet_id, 0.5)
+        assert [r.address for r in requests] == half
+        assert len(half) <= len(full)
+
+    def test_voter_latency_delays_release(self, address_map):
+        prefetcher = TreeletPrefetcher(
+            address_map, voter=MajorityVoter("full", latency=32)
+        )
+        prefetcher.on_cycle(0, [StubWarp({0: 5})], version=1)
+        assert prefetcher.pop_prefetch(10) is None  # still counting
+        assert prefetcher.pop_prefetch(32) is not None
+
+    def test_decision_period_follows_latency(self, address_map):
+        prefetcher = TreeletPrefetcher(
+            address_map, voter=MajorityVoter("full", latency=16)
+        )
+        prefetcher.on_cycle(0, [StubWarp({0: 5})], version=1)
+        # Next decision only at cycle 16, even with new state.
+        prefetcher.on_cycle(1, [StubWarp({1: 9})], version=2)
+        drain(prefetcher, cycle=100)
+        assert prefetcher.last_prefetched_treelet == 0
+        prefetcher.on_cycle(16, [StubWarp({1: 9})], version=3)
+        requests = drain(prefetcher, cycle=100)
+        assert prefetcher.last_prefetched_treelet == 1
+        assert requests
+
+    def test_queue_limit_drops(self, decomposition, address_map):
+        prefetcher = TreeletPrefetcher(address_map, queue_limit=1)
+        prefetcher.on_cycle(0, [StubWarp({0: 5})], version=1)
+        assert prefetcher.queue_depth() <= 1
+        full = address_map.prefetch_lines(0, 1.0)
+        if len(full) > 1:
+            assert prefetcher.stats.requests_dropped >= 1
+
+
+class TestMappingModes:
+    @pytest.fixture
+    def dfs_map(self, small_bvh, decomposition):
+        layout = dfs_layout(small_bvh)
+        layout.node_treelet = dict(decomposition.assignment)
+        table = build_mapping_table(decomposition, layout)
+        return TreeletAddressMap(decomposition, layout, 128, table)
+
+    def test_mode_requires_table(self, address_map):
+        with pytest.raises(ValueError):
+            TreeletPrefetcher(address_map, mapping_mode="loose")
+
+    def test_unknown_mode_rejected(self, dfs_map):
+        with pytest.raises(ValueError):
+            TreeletPrefetcher(dfs_map, mapping_mode="fuzzy")
+
+    def test_loose_prepends_mapping_loads(self, dfs_map):
+        prefetcher = TreeletPrefetcher(dfs_map, mapping_mode="loose")
+        prefetcher.on_cycle(0, [StubWarp({0: 5})], version=1)
+        requests = drain(prefetcher)
+        regions = [r.region for r in requests]
+        assert regions[0] == "mapping"
+        assert "node" in regions
+        # All mapping loads come before any node load.
+        assert regions.index("node") == len(
+            [r for r in regions if r == "mapping"]
+        )
+
+    def test_strict_holds_nodes_until_table_returns(self, dfs_map):
+        prefetcher = TreeletPrefetcher(dfs_map, mapping_mode="strict")
+        prefetcher.on_cycle(0, [StubWarp({0: 5})], version=1)
+        mapping_requests = drain(prefetcher)
+        assert all(r.region == "mapping" for r in mapping_requests)
+        assert prefetcher.queue_depth() == 0  # node lines held back
+        for request in mapping_requests:
+            request.on_complete(100)  # table loads return
+        node_requests = drain(prefetcher)
+        assert node_requests
+        assert all(r.region == "node" for r in node_requests)

@@ -1,0 +1,99 @@
+"""Unit tests for the vector math core."""
+
+import math
+
+import pytest
+
+from repro.geometry import vec as v
+
+
+class TestBasicOps:
+    def test_vec3_coerces_to_float(self):
+        assert v.vec3(1, 2, 3) == (1.0, 2.0, 3.0)
+        assert all(isinstance(c, float) for c in v.vec3(1, 2, 3))
+
+    def test_add_sub_roundtrip(self):
+        a, b = (1.0, 2.0, 3.0), (-4.0, 5.5, 0.25)
+        assert v.sub(v.add(a, b), b) == pytest.approx(a)
+
+    def test_mul_scales_each_component(self):
+        assert v.mul((1.0, -2.0, 3.0), 2.0) == (2.0, -4.0, 6.0)
+
+    def test_hadamard(self):
+        assert v.hadamard((1.0, 2.0, 3.0), (4.0, 5.0, 6.0)) == (4.0, 10.0, 18.0)
+
+    def test_dot_orthogonal_is_zero(self):
+        assert v.dot((1.0, 0.0, 0.0), (0.0, 1.0, 0.0)) == 0.0
+
+    def test_dot_self_is_length_squared(self):
+        a = (3.0, 4.0, 12.0)
+        assert v.dot(a, a) == pytest.approx(v.length_squared(a))
+
+    def test_cross_follows_right_hand_rule(self):
+        assert v.cross((1.0, 0.0, 0.0), (0.0, 1.0, 0.0)) == (0.0, 0.0, 1.0)
+
+    def test_cross_is_anticommutative(self):
+        a, b = (1.0, 2.0, 3.0), (4.0, 5.0, 6.0)
+        assert v.cross(a, b) == pytest.approx(v.mul(v.cross(b, a), -1.0))
+
+    def test_length_of_pythagorean_triple(self):
+        assert v.length((3.0, 4.0, 0.0)) == pytest.approx(5.0)
+
+    def test_distance_symmetry(self):
+        a, b = (1.0, 1.0, 1.0), (4.0, 5.0, 1.0)
+        assert v.distance(a, b) == v.distance(b, a) == pytest.approx(5.0)
+
+
+class TestNormalize:
+    def test_normalize_produces_unit_length(self):
+        n = v.normalize((10.0, -7.0, 3.0))
+        assert v.length(n) == pytest.approx(1.0)
+
+    def test_normalize_preserves_direction(self):
+        n = v.normalize((0.0, 5.0, 0.0))
+        assert n == pytest.approx((0.0, 1.0, 0.0))
+
+    def test_normalize_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            v.normalize((0.0, 0.0, 0.0))
+
+
+class TestMinMaxLerp:
+    def test_vmin_vmax_componentwise(self):
+        a, b = (1.0, 5.0, -2.0), (3.0, 2.0, -1.0)
+        assert v.vmin(a, b) == (1.0, 2.0, -2.0)
+        assert v.vmax(a, b) == (3.0, 5.0, -1.0)
+
+    def test_lerp_endpoints_and_midpoint(self):
+        a, b = (0.0, 0.0, 0.0), (2.0, 4.0, 6.0)
+        assert v.lerp(a, b, 0.0) == pytest.approx(a)
+        assert v.lerp(a, b, 1.0) == pytest.approx(b)
+        assert v.lerp(a, b, 0.5) == pytest.approx((1.0, 2.0, 3.0))
+
+
+class TestReflect:
+    def test_reflect_off_plane(self):
+        incoming = v.normalize((1.0, -1.0, 0.0))
+        out = v.reflect(incoming, (0.0, 1.0, 0.0))
+        assert out == pytest.approx(v.normalize((1.0, 1.0, 0.0)))
+
+    def test_reflection_preserves_length(self):
+        d = (0.3, -0.8, 0.5)
+        assert v.length(v.reflect(d, (0.0, 1.0, 0.0))) == pytest.approx(
+            v.length(d)
+        )
+
+
+class TestSafeInverse:
+    def test_inverts_nonzero_components(self):
+        assert v.safe_inverse((2.0, -4.0, 0.5)) == pytest.approx(
+            (0.5, -0.25, 2.0)
+        )
+
+    def test_zero_component_becomes_huge_finite(self):
+        inv = v.safe_inverse((0.0, 1.0, -1.0))
+        assert math.isfinite(inv[0]) and abs(inv[0]) >= 1e29
+
+    def test_sign_preserved_for_tiny_negative(self):
+        inv = v.safe_inverse((-1e-12, 1.0, 1.0))
+        assert inv[0] < 0

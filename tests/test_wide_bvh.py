@@ -1,0 +1,117 @@
+"""Unit tests for wide-BVH collapse and the flat node representation."""
+
+import pytest
+
+from repro.bvh import (
+    BuildConfig,
+    FlatBVH,
+    FlatNode,
+    MAX_CHILDREN,
+    build_binary_bvh,
+    build_wide_bvh,
+    collapse_to_wide,
+)
+from repro.geometry import AABB
+
+from conftest import make_triangles
+
+
+class TestCollapse:
+    @pytest.mark.parametrize("bf", [2, 3, 4, 6])
+    def test_fanout_respected(self, bf):
+        tris = make_triangles(60)
+        bvh = build_wide_bvh(tris, branching_factor=bf)
+        assert all(node.fanout <= bf for node in bvh.nodes)
+
+    def test_invalid_branching_factor(self):
+        tris = make_triangles(10)
+        root = build_binary_bvh(tris)
+        with pytest.raises(ValueError):
+            collapse_to_wide(root, tris, branching_factor=1)
+        with pytest.raises(ValueError):
+            collapse_to_wide(root, tris, branching_factor=7)
+
+    def test_collapse_preserves_primitives(self):
+        tris = make_triangles(70)
+        bvh = build_wide_bvh(tris)
+        leaf_ids = [
+            pid
+            for node in bvh.nodes
+            if node.is_leaf
+            for pid in node.primitive_ids
+        ]
+        assert sorted(leaf_ids) == sorted(t.primitive_id for t in tris)
+
+    def test_validate_passes(self):
+        bvh = build_wide_bvh(make_triangles(40))
+        bvh.validate()
+
+    def test_bfs_ids_increase_with_depth(self):
+        """BFS numbering: parent ids always smaller than child ids, and
+        depth is non-decreasing in id order."""
+        bvh = build_wide_bvh(make_triangles(90))
+        for node in bvh.nodes:
+            for child_id in node.child_ids:
+                assert child_id > node.node_id
+        depths = [node.depth for node in bvh.nodes]
+        assert depths == sorted(depths)
+
+    def test_wide_tree_shallower_than_binary(self):
+        tris = make_triangles(120)
+        binary = build_binary_bvh(tris, BuildConfig(max_leaf_size=2))
+        wide = collapse_to_wide(binary, tris, branching_factor=6)
+        assert wide.depth() <= binary.max_depth()
+
+    def test_single_triangle_tree(self):
+        tris = make_triangles(1)
+        bvh = build_wide_bvh(tris)
+        assert len(bvh) == 1
+        assert bvh.root.is_leaf
+
+
+class TestFlatNode:
+    def test_leaf_and_internal_exclusive(self):
+        with pytest.raises(ValueError):
+            FlatNode(
+                node_id=0,
+                bounds=AABB.empty(),
+                child_ids=(1,),
+                primitive_ids=(0,),
+            )
+
+    def test_too_many_children_rejected(self):
+        with pytest.raises(ValueError):
+            FlatNode(
+                node_id=0,
+                bounds=AABB.empty(),
+                child_ids=tuple(range(1, MAX_CHILDREN + 2)),
+            )
+
+
+class TestFlatBVH:
+    def test_node_ids_must_match_indices(self):
+        node = FlatNode(node_id=5, bounds=AABB.empty())
+        with pytest.raises(ValueError):
+            FlatBVH(nodes=[node], triangles=[])
+
+    def test_empty_node_list_rejected(self):
+        with pytest.raises(ValueError):
+            FlatBVH(nodes=[], triangles=[])
+
+    def test_validate_catches_bad_parent_link(self, small_bvh):
+        # Corrupt a copy of the nodes.
+        import copy
+
+        broken = copy.deepcopy(small_bvh)
+        victim = next(n for n in broken.nodes if n.parent_id > 0)
+        victim.parent_id = 0 if victim.parent_id != 0 else 1
+        with pytest.raises(ValueError):
+            broken.validate()
+
+    def test_depth_counts_levels(self, small_bvh):
+        assert small_bvh.depth() == 1 + max(n.depth for n in small_bvh.nodes)
+
+    def test_leaf_plus_internal_partition(self, small_bvh):
+        assert len(small_bvh.leaf_ids()) + len(small_bvh.internal_ids()) == len(
+            small_bvh
+        )

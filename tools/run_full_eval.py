@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Run the complete evaluation and regenerate all derived documents.
+
+Equivalent to:
+
+    pytest tests/
+    pytest benchmarks/ --benchmark-only
+    python tools/make_experiments_md.py
+
+with outputs teed to ``test_output.txt`` / ``bench_output.txt``.
+
+Usage:  python tools/run_full_eval.py [--scale smoke|default|full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def run(cmd, log_name, env):
+    log_path = ROOT / log_name
+    print(f"$ {' '.join(cmd)}  (log: {log_path})")
+    with log_path.open("w") as log:
+        process = subprocess.Popen(
+            cmd, cwd=ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        for line in process.stdout:
+            sys.stdout.write(line)
+            log.write(line)
+        process.wait()
+    return process.returncode
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--scale", choices=["smoke", "default", "full"], default="default"
+    )
+    parser.add_argument(
+        "--skip-tests", action="store_true",
+        help="only run the benchmark harness",
+    )
+    args = parser.parse_args()
+    env = dict(os.environ, REPRO_SCALE=args.scale)
+
+    if not args.skip_tests:
+        code = run(
+            [sys.executable, "-m", "pytest", "tests/", "-q"],
+            "test_output.txt", env,
+        )
+        if code != 0:
+            print("tests failed; aborting", file=sys.stderr)
+            return code
+    code = run(
+        [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only"],
+        "bench_output.txt", env,
+    )
+    if code != 0:
+        print("benchmarks failed", file=sys.stderr)
+        return code
+    code = run(
+        [sys.executable, "tools/make_experiments_md.py"],
+        "experiments_gen.log", env,
+    )
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

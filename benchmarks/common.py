@@ -86,6 +86,52 @@ def record(experiment_id: str, payload: dict) -> None:
     path.write_text(json.dumps(data, indent=2, sort_keys=True))
 
 
+def observed_run(
+    scene: str, technique: Technique, scale: Optional[Scale] = None
+):
+    """Run one technique with a :class:`repro.obs.Observer` attached.
+
+    Returns ``(result, observer)``; the observer carries the trace bus
+    and the metric registry (latency/timeliness histograms, occupancy
+    gauges) for the run.
+    """
+    from repro.obs import Observer
+
+    scale = scale or active_scale()
+    observer = Observer()
+    result = run_experiment(scene, technique, scale, observer=observer)
+    return result, observer
+
+
+def save_run_report(
+    scene: str,
+    technique: Technique,
+    scale: Optional[Scale] = None,
+    name: Optional[str] = None,
+) -> dict:
+    """Produce and persist ``results/reports/<name>.json`` for one run.
+
+    The document follows the ``repro.run_report/1`` schema
+    (:mod:`repro.obs.report`), so downstream tooling — including
+    ``tools/run_full_eval.py --reports`` — can consume stats and
+    histograms without re-running anything.
+    """
+    from repro.obs import build_run_report, write_run_report
+
+    scale = scale or active_scale()
+    result, observer = observed_run(scene, technique, scale)
+    report = build_run_report(
+        scene=scene,
+        technique=technique.label(),
+        scale=scale.name,
+        stats=result.stats,
+        observer=observer,
+    )
+    path = RESULTS_PATH / "reports" / f"{name or scene}.json"
+    write_run_report(path, report)
+    return report
+
+
 def print_figure(
     title: str,
     headers: List[str],

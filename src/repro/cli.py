@@ -6,8 +6,14 @@ Commands:
 * ``stats`` — BVH/treelet statistics for a scene (Table 2 row).
 * ``run`` — evaluate one technique on one scene vs the baseline.
 * ``sweep`` — evaluate one technique across scenes with gmean speedup.
+* ``trace`` — trace one run and export Chrome trace-event JSON
+  (open in Perfetto / chrome://tracing).
 * ``render`` — render an ASCII/PGM frame of a scene.
 * ``figures`` — recorded benchmark results as terminal charts.
+
+``run`` and ``sweep`` take ``--json`` (machine-readable SimStats on
+stdout) and ``--report PATH`` (structured ``run_report.json`` with
+demand-latency and prefetch-timeliness histograms).
 
 All heavy options map one-to-one onto :class:`repro.core.Technique`.
 """
@@ -15,6 +21,7 @@ All heavy options map one-to-one onto :class:`repro.core.Technique`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -113,11 +120,51 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _observed_run(scene: str, technique: Technique, scale):
+    """Run ``technique`` with an observer attached; returns (result, obs)."""
+    from .obs import Observer
+
+    observer = Observer()
+    result = run_experiment(scene, technique, scale, observer=observer)
+    return result, observer
+
+
+def _write_report(path, scene, technique, scale, result, observer) -> None:
+    from .obs import build_run_report, write_run_report
+
+    report = build_run_report(
+        scene=scene,
+        technique=technique.label(),
+        scale=scale.name,
+        stats=result.stats,
+        observer=observer,
+    )
+    write_run_report(path, report)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     technique = _technique_from_args(args)
     base = run_experiment(args.scene, BASELINE, scale)
-    result = run_experiment(args.scene, technique, scale)
+    if args.report:
+        result, observer = _observed_run(args.scene, technique, scale)
+        _write_report(args.report, args.scene, technique, scale,
+                      result, observer)
+    else:
+        result = run_experiment(args.scene, technique, scale)
+    if args.json:
+        from .obs import simstats_to_dict
+
+        print(json.dumps({
+            "scene": args.scene,
+            "technique": technique.label(),
+            "scale": scale.name,
+            "speedup": speedup(base, result),
+            "power_ratio": result.power.avg_power / base.power.avg_power,
+            "baseline": simstats_to_dict(base.stats),
+            "stats": simstats_to_dict(result.stats),
+        }, indent=2))
+        return 0
     print(banner(f"{args.scene}: {technique.label()} vs baseline"))
     print(f"baseline cycles:   {base.cycles}")
     print(f"technique cycles:  {result.cycles}")
@@ -131,6 +178,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "prefetch effectiveness:",
             result.stats.effectiveness.fractions(),
         ))
+    if args.report:
+        print(f"wrote report to {args.report}")
     return 0
 
 
@@ -140,15 +189,86 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     scenes = args.scenes or list(ALL_SCENES)
     rows = []
     gains = []
+    reports = {}
+    payload = {}
     for scene in scenes:
         base = run_experiment(scene, BASELINE, scale)
-        result = run_experiment(scene, technique, scale)
+        if args.report:
+            from .obs import build_run_report
+
+            result, observer = _observed_run(scene, technique, scale)
+            reports[scene] = build_run_report(
+                scene=scene,
+                technique=technique.label(),
+                scale=scale.name,
+                stats=result.stats,
+                observer=observer,
+            )
+        else:
+            result = run_experiment(scene, technique, scale)
         gain = speedup(base, result)
         gains.append(gain)
         rows.append([scene, base.cycles, result.cycles, round(gain, 3)])
+        if args.json:
+            from .obs import simstats_to_dict
+
+            payload[scene] = {
+                "speedup": gain,
+                "baseline": simstats_to_dict(base.stats),
+                "stats": simstats_to_dict(result.stats),
+            }
+    if args.report:
+        from pathlib import Path
+
+        out = Path(args.report)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(
+            {"schema": "repro.sweep_report/1",
+             "technique": technique.label(),
+             "scale": scale.name,
+             "gmean_speedup": geomean(gains),
+             "scenes": reports},
+            indent=2, sort_keys=True,
+        ))
+    if args.json:
+        print(json.dumps({
+            "technique": technique.label(),
+            "scale": scale.name,
+            "gmean_speedup": geomean(gains),
+            "scenes": payload,
+        }, indent=2))
+        return 0
     rows.append(["GMean", "", "", round(geomean(gains), 3)])
     print(banner(f"sweep: {technique.label()} @ scale {scale.name}"))
     print(format_table(["scene", "base cyc", "ours cyc", "speedup"], rows))
+    if args.report:
+        print(f"wrote report to {args.report}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import Observer, write_chrome_trace
+
+    scale = _SCALES[args.scale]
+    technique = _technique_from_args(args)
+    observer = Observer(max_events=args.max_events)
+    result = run_experiment(args.scene, technique, scale, observer=observer)
+    path = write_chrome_trace(args.out, observer.bus, observer.metrics)
+    summary = observer.trace_summary()
+    if args.report:
+        _write_report(args.report, args.scene, technique, scale,
+                      result, observer)
+    print(banner(f"{args.scene}: traced {technique.label()}"))
+    print(f"cycles:        {result.stats.cycles}")
+    print(f"events:        {summary['events']}"
+          + (f" (+{summary['dropped']} dropped)"
+             if summary["dropped"] else ""))
+    print(f"tracks:        {len(summary['tracks'])}")
+    print(f"event kinds:   {len(summary['kinds'])}")
+    print(f"wrote {path} — open in https://ui.perfetto.dev "
+          "or chrome://tracing")
+    if args.report:
+        print(f"wrote report to {args.report}")
     return 0
 
 
@@ -187,6 +307,13 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -204,12 +331,33 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="one technique vs baseline on a scene")
     run.add_argument("scene", choices=list(ALL_SCENES))
     run.add_argument("--scale", choices=list(_SCALES), default="default")
+    run.add_argument("--json", action="store_true",
+                     help="print machine-readable SimStats JSON")
+    run.add_argument("--report",
+                     help="write a structured run_report.json here")
     _add_technique_args(run)
 
     sweep = sub.add_parser("sweep", help="one technique across scenes")
     sweep.add_argument("--scenes", nargs="*", choices=list(ALL_SCENES))
     sweep.add_argument("--scale", choices=list(_SCALES), default="default")
+    sweep.add_argument("--json", action="store_true",
+                       help="print machine-readable SimStats JSON")
+    sweep.add_argument("--report",
+                       help="write per-scene run reports to this file")
     _add_technique_args(sweep)
+
+    trace = sub.add_parser(
+        "trace", help="trace one run; export Perfetto/Chrome JSON"
+    )
+    trace.add_argument("scene", choices=list(ALL_SCENES))
+    trace.add_argument("--scale", choices=list(_SCALES), default="default")
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace-event output path")
+    trace.add_argument("--report",
+                       help="also write a structured run_report.json here")
+    trace.add_argument("--max-events", type=_positive_int, default=1_000_000,
+                       help="retained-event cap (excess is dropped)")
+    _add_technique_args(trace)
 
     rend = sub.add_parser("render", help="render a scene frame")
     rend.add_argument("scene", choices=list(ALL_SCENES))
@@ -230,6 +378,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
     "render": _cmd_render,
     "figures": _cmd_figures,
 }

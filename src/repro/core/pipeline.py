@@ -433,14 +433,22 @@ def run_experiment(
     scale: Scale = DEFAULT,
     gpu_config: Optional[GpuConfig] = None,
     use_cache: bool = True,
+    observer=None,
 ) -> ExperimentResult:
     """Evaluate ``technique`` on ``scene_name`` at ``scale``.
 
     Pass an explicit ``gpu_config`` to override the scale's default (such
-    runs are not memoized).
+    runs are not memoized).  Pass a :class:`repro.obs.Observer` to trace
+    the run (observed runs are never memoized, so the observer always
+    sees a real simulation; attaching it does not change the results).
     """
     cache_key = (scene_name, technique, scale.name)
-    if use_cache and gpu_config is None and cache_key in _RESULT_CACHE:
+    if (
+        use_cache
+        and gpu_config is None
+        and observer is None
+        and cache_key in _RESULT_CACHE
+    ):
         return _RESULT_CACHE[cache_key]
     gpu = gpu_config or scale.gpu_config()
     bvh = get_bvh(scene_name, scale)
@@ -466,6 +474,7 @@ def run_experiment(
         prefetcher_factory=_prefetcher_factory(
             technique, gpu, layout, decomposition
         ),
+        observer=observer,
     )
     model.load(traces, bvh, layout)
     stats = model.run()
@@ -478,7 +487,7 @@ def run_experiment(
         tree=compute_tree_stats(bvh),
         treelet_count=decomposition.treelet_count if decomposition else 0,
     )
-    if use_cache and gpu_config is None:
+    if use_cache and gpu_config is None and observer is None:
         _RESULT_CACHE[cache_key] = result
     return result
 

@@ -82,6 +82,8 @@ class Cache:
         self._mshrs: Dict[int, MshrEntry] = {}
         #: called with the evicted line's meta whenever a line is dropped.
         self.eviction_listener: Optional[Callable[[int, LineMeta], None]] = None
+        #: optional trace bus (repro.obs); None = tracing disabled.
+        self.obs = None
 
     # -- geometry ---------------------------------------------------------
 
@@ -129,6 +131,7 @@ class Cache:
         line: int,
         is_prefetch: bool,
         waiter: Optional[Callable[[int], None]] = None,
+        cycle: int = 0,
     ) -> AccessOutcome:
         """Look up ``line``, update LRU/stats, and register a waiter.
 
@@ -139,8 +142,11 @@ class Cache:
         * MISS — an MSHR entry is allocated (``waiter`` queued on it);
           the caller must send the fill request down and eventually call
           :meth:`fill`.
+
+        ``cycle`` is observational only (it timestamps trace events).
         """
         stats = self.stats
+        obs = self.obs
         if is_prefetch:
             stats.prefetch_accesses += 1
         else:
@@ -155,10 +161,42 @@ class Cache:
                 stats.demand_hits += 1
                 if meta.filled_by_prefetch and not meta.demand_touched:
                     stats.demand_hits_on_prefetched += 1
+                    if obs is not None:
+                        obs.emit(
+                            "prefetch.first_hit",
+                            cycle,
+                            self.name,
+                            args={
+                                "line": line,
+                                "fill_cycle": meta.fill_cycle,
+                            },
+                        )
                 meta.demand_touched = True
+            if obs is not None:
+                obs.emit(
+                    "cache.access",
+                    cycle,
+                    self.name,
+                    args={
+                        "line": line,
+                        "outcome": "hit",
+                        "prefetch": is_prefetch,
+                    },
+                )
             return AccessOutcome.HIT
         entry = self._mshrs.get(line)
         if entry is not None:
+            if obs is not None:
+                obs.emit(
+                    "mshr.merge",
+                    cycle,
+                    self.name,
+                    args={
+                        "line": line,
+                        "owner_prefetch": entry.is_prefetch,
+                        "prefetch": is_prefetch,
+                    },
+                )
             if is_prefetch:
                 stats.prefetch_pending_hits += 1
             else:
@@ -168,6 +206,17 @@ class Cache:
                     entry.is_prefetch = False  # a demand now owns the fill
             if waiter is not None:
                 entry.waiters.append(waiter)
+            if obs is not None:
+                obs.emit(
+                    "cache.access",
+                    cycle,
+                    self.name,
+                    args={
+                        "line": line,
+                        "outcome": "pending_hit",
+                        "prefetch": is_prefetch,
+                    },
+                )
             return AccessOutcome.PENDING_HIT
         # Miss: allocate the MSHR.
         if is_prefetch:
@@ -178,6 +227,17 @@ class Cache:
         if waiter is not None:
             entry.waiters.append(waiter)
         self._mshrs[line] = entry
+        if obs is not None:
+            obs.emit(
+                "cache.access",
+                cycle,
+                self.name,
+                args={
+                    "line": line,
+                    "outcome": "miss",
+                    "prefetch": is_prefetch,
+                },
+            )
         return AccessOutcome.MISS
 
     def fill(self, line: int, cycle: int) -> List[Callable[[int], None]]:

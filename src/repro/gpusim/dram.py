@@ -49,6 +49,8 @@ class Dram:
             per_partition_busy=[0] * config.partitions,
         )
         self._bus_free = [0] * config.partitions
+        #: optional trace bus (repro.obs); None = tracing disabled.
+        self.obs = None
 
     def service(self, address: int, cycle: int) -> int:
         """Accept a line request at ``cycle``; returns its completion cycle.
@@ -66,4 +68,16 @@ class Dram:
         self.stats.per_partition_accesses[partition] += 1
         self.stats.per_partition_busy[partition] += self.config.burst_cycles
         self.stats.total_wait_cycles += start - cycle
+        if self.obs is not None:
+            self.obs.emit(
+                "dram.service",
+                start,
+                f"DRAM[{partition}]",
+                dur=self.config.burst_cycles,
+                args={
+                    "partition": partition,
+                    "address": address,
+                    "wait": start - cycle,
+                },
+            )
         return start + self.config.burst_cycles + self.config.latency

@@ -39,6 +39,7 @@ class GpuModel:
         prefetcher_factory: Optional[PrefetcherFactory] = None,
         enable_fast_forward: bool = True,
         timeline: Optional[TimelineSampler] = None,
+        observer=None,
     ) -> None:
         self.config = config
         #: Skip globally-stalled stretches by jumping to the next event.
@@ -61,6 +62,10 @@ class GpuModel:
                     prefetcher=prefetcher,
                 )
             )
+        #: Optional repro.obs.Observer; attaching is observational only.
+        self.observer = observer
+        if observer is not None:
+            observer.attach(self)
 
     def load(
         self,
@@ -125,6 +130,13 @@ class GpuModel:
                     for unit in units:
                         if unit.buffer:
                             unit.stats.stall_cycles += skipped
+                            if unit.obs is not None:
+                                unit.obs.emit(
+                                    "rtunit.stall",
+                                    cycle + 1,
+                                    f"RT{unit.sm_id}",
+                                    dur=skipped,
+                                )
                     cycle = next_event
                     continue
                 if next_event is None:

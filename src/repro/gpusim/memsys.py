@@ -99,6 +99,8 @@ class MemorySystem:
         self.uses_stream_buffers = config.prefetch_destination == "stream"
         self.stream_buffers: List[Cache] = []
         self.stream_buffer_hits = 0
+        #: optional trace bus (repro.obs); None = tracing disabled.
+        self.obs = None
         if self.uses_stream_buffers:
             self.stream_buffers = [
                 Cache(config.stream_buffer, name=f"SB[{sm}]")
@@ -132,7 +134,9 @@ class MemorySystem:
             return self._prefetch_into_stream(sm, address, cycle, callback)
         responder = callback
         if not is_prefetch and callback is not None:
-            responder = self._latency_recorder(cycle, region, callback)
+            responder = self._latency_recorder(
+                cycle, region, callback, sm, address
+            )
         return self._l1_access(sm, address, cycle, is_prefetch, responder)
 
     def drain_complete(self) -> bool:
@@ -165,7 +169,7 @@ class MemorySystem:
         prior_meta = _snapshot(l1.line_meta(line))
         prior_owner = l1.mshr_owner_is_prefetch(line)
 
-        outcome = l1.probe(line, is_prefetch, waiter=responder)
+        outcome = l1.probe(line, is_prefetch, waiter=responder, cycle=cycle)
         if is_prefetch:
             tracker.on_prefetch_probe(line, outcome, prior_meta, prior_owner)
         else:
@@ -220,11 +224,13 @@ class MemorySystem:
                 line, AccessOutcome.PENDING_HIT, None, l1_owner
             )
             if callback is not None:
-                l1.probe(line, is_prefetch=True, waiter=callback)
+                l1.probe(line, is_prefetch=True, waiter=callback, cycle=cycle)
             return AccessOutcome.PENDING_HIT
         prior_meta = _snapshot(buffer.line_meta(line))
         prior_owner = buffer.mshr_owner_is_prefetch(line)
-        outcome = buffer.probe(line, is_prefetch=True, waiter=callback)
+        outcome = buffer.probe(
+            line, is_prefetch=True, waiter=callback, cycle=cycle
+        )
         tracker.on_prefetch_probe(line, outcome, prior_meta, prior_owner)
         if outcome is AccessOutcome.HIT:
             if callback is not None:
@@ -276,20 +282,38 @@ class MemorySystem:
                 self.stream_buffers[s].invalidate(ln)
                 self._fill_l1(s, ln, at)
 
-            buffer.probe(line, is_prefetch=False, waiter=transfer)
+            buffer.probe(line, is_prefetch=False, waiter=transfer, cycle=cycle)
             return True
         return False
 
     # -- internals ----------------------------------------------------------
 
     def _latency_recorder(
-        self, issue_cycle: int, region: str, callback: ResponseCallback
+        self,
+        issue_cycle: int,
+        region: str,
+        callback: ResponseCallback,
+        sm: int,
+        address: int,
     ) -> ResponseCallback:
         def respond(done_cycle: int) -> None:
             latency = done_cycle - issue_cycle
             self.all_demand_latency.record(latency)
             if region == REGION_NODE:
                 self.node_demand_latency.record(latency)
+            if self.obs is not None:
+                self.obs.emit(
+                    "demand.complete",
+                    done_cycle,
+                    f"SM{sm}",
+                    args={
+                        "sm": sm,
+                        "line": self.l2.line_of(address),
+                        "region": region,
+                        "latency": latency,
+                        "issue_cycle": issue_cycle,
+                    },
+                )
             callback(done_cycle)
 
         return respond
@@ -299,6 +323,13 @@ class MemorySystem:
         was_prefetch = self.l1s[sm].mshr_owner_is_prefetch(line)
         waiters = self.l1s[sm].fill(line, cycle)
         tracker.on_fill(line, bool(was_prefetch))
+        if was_prefetch and self.obs is not None:
+            self.obs.emit(
+                "prefetch.fill",
+                cycle,
+                self.l1s[sm].name,
+                args={"sm": sm, "line": line},
+            )
         for waiter in waiters:
             waiter(cycle)
 
@@ -308,6 +339,13 @@ class MemorySystem:
         was_prefetch = buffer.mshr_owner_is_prefetch(line)
         waiters = buffer.fill(line, cycle)
         tracker.on_fill(line, bool(was_prefetch))
+        if was_prefetch and self.obs is not None:
+            self.obs.emit(
+                "prefetch.fill",
+                cycle,
+                buffer.name,
+                args={"sm": sm, "line": line},
+            )
         for waiter in waiters:
             waiter(cycle)
 
@@ -328,7 +366,9 @@ class MemorySystem:
             def fill_upper(at: int, s=sm, ln=line) -> None:
                 self._fill_stream(s, ln, at)
 
-        outcome = self.l2.probe(line, is_prefetch, waiter=fill_upper)
+        outcome = self.l2.probe(
+            line, is_prefetch, waiter=fill_upper, cycle=cycle
+        )
         if outcome is AccessOutcome.HIT:
             self.events.schedule(cycle + self.config.l2.latency, fill_upper)
         elif outcome is AccessOutcome.MISS:

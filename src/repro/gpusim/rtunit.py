@@ -55,6 +55,8 @@ class RTUnit:
         self.pending_warps: Deque[List[RayTask]] = deque()
         self.buffer: List[WarpSlot] = []
         self.stats = RTUnitStats()
+        #: optional trace bus (repro.obs); None = tracing disabled.
+        self.obs = None
         self._next_warp_id = 0
         #: bumped whenever warp-buffer vote state changes (voter gate).
         self.vote_version = 0
@@ -85,6 +87,13 @@ class RTUnit:
             else:
                 self.buffer.append(slot)
                 self.vote_version += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "warp.issue",
+                        cycle,
+                        f"SM{self.sm_id}",
+                        args=slot.trace_args(),
+                    )
         # (2) Demand issue from the scheduled warp.
         issued = 0
         warp = select_warp(
@@ -100,11 +109,28 @@ class RTUnit:
             # Warps resident but every ray is waiting on memory or the
             # op units: the latency-bound stall the paper targets.
             self.stats.stall_cycles += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    "rtunit.stall", cycle, f"RT{self.sm_id}", dur=1
+                )
         # (3) One prefetch on a leftover port.
         if issued < self.config.mem_ports:
             request = self.prefetcher.pop_prefetch(cycle)
             if request is not None:
                 self.stats.prefetches_issued += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "prefetch.issue",
+                        cycle,
+                        f"RT{self.sm_id}",
+                        args={
+                            "sm": self.sm_id,
+                            "address": request.address,
+                            "line": request.address
+                            // self.config.l1.line_bytes,
+                            "region": request.region,
+                        },
+                    )
                 self.memsys.access(
                     self.sm_id,
                     request.address,
@@ -248,3 +274,11 @@ class RTUnit:
         self.buffer.remove(warp)
         self.stats.warps_retired += 1
         self.stats.warp_latency_total += cycle - warp.entry_cycle
+        if self.obs is not None:
+            self.obs.emit(
+                "warp.retire",
+                warp.entry_cycle,
+                f"SM{self.sm_id}",
+                dur=cycle - warp.entry_cycle,
+                args=warp.trace_args(),
+            )

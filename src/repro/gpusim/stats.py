@@ -88,10 +88,30 @@ class SimStats:
         }
 
 
+#: The summable counters of :class:`CacheStats`, listed explicitly so a
+#: future non-numeric field (a name, a listener, a nested object) cannot
+#: silently corrupt the merge.  ``tests/test_stats_misc.py`` checks this
+#: tuple stays in sync with the dataclass.
+CACHE_STAT_NUMERIC_FIELDS = (
+    "demand_accesses",
+    "demand_hits",
+    "demand_hits_on_prefetched",
+    "demand_pending_hits",
+    "demand_pending_on_prefetch",
+    "demand_misses",
+    "prefetch_accesses",
+    "prefetch_hits",
+    "prefetch_pending_hits",
+    "prefetch_misses",
+    "evictions",
+    "prefetched_evicted_unused",
+)
+
+
 def merge_cache_stats(parts: List[CacheStats]) -> CacheStats:
-    """Sum per-SM L1 stats into one aggregate."""
+    """Sum per-SM L1 stats into one aggregate (numeric fields only)."""
     merged = CacheStats()
     for part in parts:
-        for name in vars(merged):
+        for name in CACHE_STAT_NUMERIC_FIELDS:
             setattr(merged, name, getattr(merged, name) + getattr(part, name))
     return merged

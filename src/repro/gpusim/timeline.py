@@ -6,12 +6,16 @@ interval, giving a coarse time-series view of where a run spends its
 cycles.  The sampler is pull-based and cheap (a few counter reads per
 sample), and it is *observational only*: attaching one must not change
 any simulation result.
+
+When a :class:`~repro.obs.metrics.MetricRegistry` is attached, every
+sample is also recorded as gauge series (aggregate and per-SM), which is
+how the occupancy view reaches run reports and the Perfetto export.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Any, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -26,10 +30,19 @@ class TimelineSample:
 
 @dataclass
 class TimelineSampler:
-    """Collects :class:`TimelineSample` every ``interval`` cycles."""
+    """Collects :class:`TimelineSample` every ``interval`` cycles.
+
+    Sampling thresholds stay on the fixed grid ``0, interval,
+    2*interval, ...`` even when a call lands past a boundary (the GPU
+    loop fast-forwards over stalled stretches), so long runs do not
+    accumulate phase drift and the sample count tracks
+    ``cycles / interval``.
+    """
 
     interval: int = 64
     samples: List[TimelineSample] = field(default_factory=list)
+    #: optional repro.obs MetricRegistry the samples are mirrored into.
+    registry: Optional[Any] = None
     _next_sample: int = 0
 
     def __post_init__(self) -> None:
@@ -44,17 +57,40 @@ class TimelineSampler:
         """
         if cycle < self._next_sample:
             return
-        self._next_sample = cycle + self.interval
+        # Advance to the next grid point *after* cycle; jumping in whole
+        # intervals keeps the schedule anchored at multiples of
+        # ``interval`` instead of re-phasing on every late call.
+        self._next_sample += self.interval * (
+            (cycle - self._next_sample) // self.interval + 1
+        )
+        ready = 0
+        resident = 0
+        queued = 0
+        for unit in units:
+            ready += unit.ready_total()
+            resident += len(unit.buffer)
+            queued += unit.prefetcher.queue_depth()
         self.samples.append(
             TimelineSample(
                 cycle=cycle,
-                ready_rays=sum(unit.ready_total() for unit in units),
-                resident_warps=sum(len(unit.buffer) for unit in units),
-                prefetch_queue_depth=sum(
-                    unit.prefetcher.queue_depth() for unit in units
-                ),
+                ready_rays=ready,
+                resident_warps=resident,
+                prefetch_queue_depth=queued,
             )
         )
+        if self.registry is not None:
+            registry = self.registry
+            registry.gauge("occupancy.ready_rays").record(cycle, ready)
+            registry.gauge("occupancy.resident_warps").record(cycle, resident)
+            registry.gauge("prefetch.queue_depth").record(cycle, queued)
+            for unit in units:
+                sm = unit.sm_id
+                registry.gauge(f"occupancy.sm{sm}.ready_rays").record(
+                    cycle, unit.ready_total()
+                )
+                registry.gauge(f"occupancy.sm{sm}.resident_warps").record(
+                    cycle, len(unit.buffer)
+                )
 
     def series(self, attribute: str) -> List[int]:
         """One attribute across all samples, e.g. ``series('ready_rays')``."""

@@ -156,6 +156,15 @@ class WarpSlot:
     def done(self) -> bool:
         return self.done_count >= len(self.rays)
 
+    def trace_args(self) -> Dict[str, int]:
+        """Event payload for this warp's trace events (repro.obs)."""
+        return {
+            "warp_id": self.warp_id,
+            "rays": len(self.rays),
+            "done": self.done_count,
+            "entry_cycle": self.entry_cycle,
+        }
+
     # -- counter maintenance (called by the RT unit on transitions) ------
 
     def note_ready(self, ray: RayTask) -> None:

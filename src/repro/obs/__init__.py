@@ -1,0 +1,98 @@
+"""repro.obs — observability for the GPU timing model.
+
+Three layers:
+
+* :mod:`repro.obs.bus` — the trace bus components publish typed events
+  to (near-zero overhead when detached: one attribute check per site).
+* :mod:`repro.obs.metrics` — named counters, gauge series, and
+  fixed-bucket histograms aggregated from the event stream.
+* exporters — :mod:`repro.obs.perfetto` (Chrome trace-event JSON for
+  Perfetto / chrome://tracing) and :mod:`repro.obs.report` (the
+  ``run_report.json`` schema).
+
+Typical use::
+
+    from repro import run_experiment, TREELET_PREFETCH, SMOKE
+    from repro.obs import Observer, write_chrome_trace
+
+    observer = Observer()
+    result = run_experiment("WKND", TREELET_PREFETCH, SMOKE,
+                            observer=observer)
+    write_chrome_trace("trace.json", observer.bus, observer.metrics)
+
+Attaching an observer never changes simulation results (enforced by
+``tests/test_obs_invariance.py``).
+"""
+
+from .bus import DEFAULT_MAX_EVENTS, TraceBus
+from .events import (
+    ALL_EVENT_KINDS,
+    EV_CACHE_ACCESS,
+    EV_DEMAND_COMPLETE,
+    EV_DRAM_SERVICE,
+    EV_MSHR_MERGE,
+    EV_PREFETCH_DECISION,
+    EV_PREFETCH_FILL,
+    EV_PREFETCH_FIRST_HIT,
+    EV_PREFETCH_ISSUE,
+    EV_RTUNIT_STALL,
+    EV_VOTER_DECIDE,
+    EV_WARP_ISSUE,
+    EV_WARP_RETIRE,
+    TraceEvent,
+    dram_track,
+    rt_track,
+    sm_track,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricRegistry,
+)
+from .observer import DEFAULT_SAMPLE_INTERVAL, Observer, TIMELINESS_BUCKETS
+from .perfetto import to_chrome_trace, write_chrome_trace
+from .report import (
+    REPORT_SCHEMA,
+    build_run_report,
+    load_run_report,
+    simstats_to_dict,
+    write_run_report,
+)
+
+__all__ = [
+    "ALL_EVENT_KINDS",
+    "Counter",
+    "DEFAULT_MAX_EVENTS",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "EV_CACHE_ACCESS",
+    "EV_DEMAND_COMPLETE",
+    "EV_DRAM_SERVICE",
+    "EV_MSHR_MERGE",
+    "EV_PREFETCH_DECISION",
+    "EV_PREFETCH_FILL",
+    "EV_PREFETCH_FIRST_HIT",
+    "EV_PREFETCH_ISSUE",
+    "EV_RTUNIT_STALL",
+    "EV_VOTER_DECIDE",
+    "EV_WARP_ISSUE",
+    "EV_WARP_RETIRE",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricRegistry",
+    "Observer",
+    "REPORT_SCHEMA",
+    "TIMELINESS_BUCKETS",
+    "TraceBus",
+    "TraceEvent",
+    "build_run_report",
+    "dram_track",
+    "load_run_report",
+    "rt_track",
+    "simstats_to_dict",
+    "sm_track",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,83 @@
+"""The trace bus: a passive, bounded event sink.
+
+Components hold an ``obs`` attribute that is ``None`` by default; every
+instrumentation site is guarded by a single attribute check
+(``if self.obs is not None``), so a detached bus costs one comparison
+per site and an attached bus only appends records — it never mutates
+simulation state.  That invariant is enforced by the observer-invariance
+tests: :class:`~repro.gpusim.stats.SimStats` must be identical with and
+without a bus attached.
+
+The bus keeps at most ``max_events`` events (a runaway-trace guard);
+events past the cap are counted in ``dropped`` but still delivered to
+subscribers, so metrics stay complete even when the raw trace is
+truncated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .events import TraceEvent
+
+#: Default bound on retained raw events (~100s of MB of JSON at most).
+DEFAULT_MAX_EVENTS = 1_000_000
+
+Listener = Callable[[TraceEvent], None]
+
+
+class TraceBus:
+    """Collects :class:`TraceEvent` records and fans them out."""
+
+    __slots__ = ("events", "dropped", "max_events", "_listeners")
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self.max_events = max_events
+        self._listeners: Dict[str, List[Listener]] = {}
+
+    def subscribe(self, kind: str, listener: Listener) -> None:
+        """Call ``listener(event)`` for every future event of ``kind``."""
+        self._listeners.setdefault(kind, []).append(listener)
+
+    def emit(
+        self,
+        kind: str,
+        cycle: int,
+        track: str,
+        dur: Optional[int] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Publish one event (retained up to the cap, always fanned out)."""
+        event = TraceEvent(kind, cycle, track, dur, args)
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+        listeners = self._listeners.get(kind)
+        if listeners:
+            for listener in listeners:
+                listener(event)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def kinds(self) -> Dict[str, int]:
+        """Event count per kind (retained events only)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def tracks(self) -> List[str]:
+        """Distinct track names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            if event.track not in seen:
+                seen[event.track] = None
+        return list(seen)

@@ -1,0 +1,161 @@
+"""Named counters, gauge series, and fixed-bucket histograms.
+
+The :class:`MetricRegistry` is the structured half of the observability
+layer: where the trace bus records *what happened when*, the registry
+aggregates distributions and time series that the run report exports
+(demand-latency per level, prefetch timeliness, per-SM occupancy,
+per-DRAM-partition load).  Metrics are pure accumulators — recording a
+value never feeds back into the simulation.
+
+This module is deliberately dependency-free so every layer (including
+``gpusim.timeline``) can hold a registry without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default bucket upper bounds for cycle-latency histograms.  The last
+#: implicit bucket catches everything above the final bound.
+LATENCY_BUCKETS: Tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A sampled time series: parallel ``cycles`` / ``values`` arrays."""
+
+    __slots__ = ("name", "cycles", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.cycles: List[int] = []
+        self.values: List[float] = []
+
+    def record(self, cycle: int, value: float) -> None:
+        self.cycles.append(cycle)
+        self.values.append(value)
+
+    @property
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def as_dict(self) -> dict:
+        return {"cycles": list(self.cycles), "values": list(self.values)}
+
+
+class Histogram:
+    """A fixed-bucket histogram (bounds chosen at creation).
+
+    ``counts[i]`` counts values ``<= bounds[i]`` (first matching bucket);
+    ``counts[-1]`` is the overflow bucket for values above every bound.
+    Fixed buckets keep recording O(#buckets) with zero allocation, which
+    is what lets the hot memory-system paths record every demand latency.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Sequence[int] = LATENCY_BUCKETS
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.name = name
+        self.bounds: Tuple[int, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricRegistry:
+    """Create-on-first-use registry of named metrics."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, bounds: Sequence[int] = LATENCY_BUCKETS
+    ) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name, bounds)
+        return metric
+
+    def as_dict(self) -> dict:
+        """The registry as plain JSON-serializable data (report schema)."""
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: metric.as_dict()
+                for name, metric in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: metric.as_dict()
+                for name, metric in sorted(self.histograms.items())
+            },
+        }

@@ -1,0 +1,224 @@
+"""Observer: wires a trace bus + metric registry into a GPU model.
+
+``Observer.attach(model)`` points every instrumented component's ``obs``
+attribute at one shared :class:`~repro.obs.bus.TraceBus` and subscribes
+the standard metric builders, which turn the raw event stream into:
+
+* ``latency.demand.all`` / ``latency.demand.node`` — demand-latency
+  histograms (the Figure 1b distribution, not just its mean);
+* ``latency.demand.l1|l2|dram`` — the same latencies attributed to the
+  level that (most recently) served the line.  Attribution is
+  best-effort for merged requests: pending hits share their owner's
+  fill, so they inherit the owner's level;
+* ``prefetch.issue_to_fill`` / ``prefetch.fill_to_first_hit`` — the
+  paper's timeliness view: how long a prefetch took to land, and how
+  long it sat resident before the first demand touch;
+* per-SM occupancy gauges (via the model's timeline sampler) and
+  per-DRAM-partition load counters.
+
+Everything here is strictly read-only with respect to the simulation:
+listeners only append to metric accumulators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .bus import DEFAULT_MAX_EVENTS, TraceBus
+from .events import (
+    EV_CACHE_ACCESS,
+    EV_DEMAND_COMPLETE,
+    EV_DRAM_SERVICE,
+    EV_MSHR_MERGE,
+    EV_PREFETCH_FILL,
+    EV_PREFETCH_FIRST_HIT,
+    EV_PREFETCH_ISSUE,
+    EV_RTUNIT_STALL,
+    EV_WARP_ISSUE,
+    EV_WARP_RETIRE,
+)
+from .metrics import LATENCY_BUCKETS, MetricRegistry
+
+#: Buckets for fill -> first-demand-hit residency times (can be long:
+#: an "early" prefetch sits resident for thousands of cycles).
+TIMELINESS_BUCKETS = (8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384)
+
+#: Default occupancy-gauge sampling interval (cycles).
+DEFAULT_SAMPLE_INTERVAL = 64
+
+
+class Observer:
+    """One run's observability context (bus + registry + wiring)."""
+
+    def __init__(
+        self,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        sample_interval: int = DEFAULT_SAMPLE_INTERVAL,
+    ) -> None:
+        self.bus = TraceBus(max_events=max_events)
+        self.metrics = MetricRegistry()
+        self.sample_interval = sample_interval
+        self.model = None
+        #: (sm, line) -> cycle the prefetch was issued at.
+        self._prefetch_issue: Dict[Tuple[int, int], int] = {}
+        #: line -> "l2" | "dram": which level last filled it (attribution).
+        self._line_source: Dict[int, str] = {}
+        self._l1_latency = 0
+        self._subscribed = False
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, model) -> "Observer":
+        """Hook the bus into every component of ``model`` (a GpuModel)."""
+        from ..gpusim.timeline import TimelineSampler
+
+        self.model = model
+        self._l1_latency = model.config.l1.latency
+        if not self._subscribed:
+            self._subscribe_metrics()
+            self._subscribed = True
+        bus = self.bus
+        for unit in model.units:
+            unit.obs = bus
+            unit.prefetcher.obs = bus
+            unit.prefetcher.obs_track = f"PF{unit.sm_id}"
+            voter = getattr(unit.prefetcher, "voter", None)
+            if voter is not None:
+                voter.obs = bus
+                voter.obs_track = f"Voter{unit.sm_id}"
+        memsys = model.memsys
+        memsys.obs = bus
+        for cache in memsys.l1s + memsys.stream_buffers + [memsys.l2]:
+            cache.obs = bus
+        memsys.dram.obs = bus
+        if model.timeline is None:
+            model.timeline = TimelineSampler(
+                interval=self.sample_interval, registry=self.metrics
+            )
+        elif model.timeline.registry is None:
+            model.timeline.registry = self.metrics
+        return self
+
+    # -- metric builders ----------------------------------------------------
+
+    def _subscribe_metrics(self) -> None:
+        bus = self.bus
+        metrics = self.metrics
+        hist_all = metrics.histogram("latency.demand.all", LATENCY_BUCKETS)
+        hist_node = metrics.histogram("latency.demand.node", LATENCY_BUCKETS)
+        per_level = {
+            level: metrics.histogram(
+                f"latency.demand.{level}", LATENCY_BUCKETS
+            )
+            for level in ("l1", "l2", "dram")
+        }
+        issue_to_fill = metrics.histogram(
+            "prefetch.issue_to_fill", LATENCY_BUCKETS
+        )
+        fill_to_hit = metrics.histogram(
+            "prefetch.fill_to_first_hit", TIMELINESS_BUCKETS
+        )
+
+        def on_demand_complete(event) -> None:
+            args = event.args
+            latency = args["latency"]
+            hist_all.record(latency)
+            if args.get("region") == "node":
+                hist_node.record(latency)
+            if latency <= self._l1_latency:
+                level = "l1"
+            else:
+                level = self._line_source.get(args["line"], "l2")
+            per_level[level].record(latency)
+
+        def on_l2_access(event) -> None:
+            # Track which level fills each line: an L2 miss goes to DRAM,
+            # an L2 hit serves from L2.  (Pending hits keep the owner's
+            # source.)  Only the shared L2's accesses matter here.
+            if event.track != "L2":
+                return
+            args = event.args
+            outcome = args["outcome"]
+            if outcome == "miss":
+                self._line_source[args["line"]] = "dram"
+            elif outcome == "hit":
+                self._line_source[args["line"]] = "l2"
+
+        def on_prefetch_issue(event) -> None:
+            args = event.args
+            self._prefetch_issue[(args["sm"], args["line"])] = event.cycle
+            metrics.counter("prefetch.issued").inc()
+
+        def on_prefetch_fill(event) -> None:
+            args = event.args
+            issued = self._prefetch_issue.pop(
+                (args["sm"], args["line"]), None
+            )
+            metrics.counter("prefetch.fills").inc()
+            if issued is not None:
+                issue_to_fill.record(event.cycle - issued)
+
+        def on_prefetch_first_hit(event) -> None:
+            # Only the per-SM levels (L1 / stream buffer) measure the
+            # timeliness the paper cares about.
+            if not (
+                event.track.startswith("L1") or event.track.startswith("SB")
+            ):
+                return
+            metrics.counter("prefetch.first_hits").inc()
+            fill_to_hit.record(event.cycle - event.args["fill_cycle"])
+
+        def on_dram_service(event) -> None:
+            args = event.args
+            metrics.counter("dram.accesses").inc()
+            metrics.counter(
+                f"dram.partition{args['partition']}.accesses"
+            ).inc()
+            if args.get("wait"):
+                metrics.counter("dram.wait_cycles").inc(args["wait"])
+
+        def on_stall(event) -> None:
+            metrics.counter("rtunit.stall_cycles").inc(event.dur or 1)
+
+        def on_warp_issue(_event) -> None:
+            metrics.counter("warps.issued").inc()
+
+        def on_warp_retire(event) -> None:
+            metrics.counter("warps.retired").inc()
+            metrics.histogram(
+                "warp.lifetime",
+                (256, 512, 1024, 2048, 4096, 8192, 16384, 65536),
+            ).record(event.dur or 0)
+
+        def on_mshr_merge(_event) -> None:
+            metrics.counter("mshr.merges").inc()
+
+        def on_cache_access(event) -> None:
+            args = event.args
+            kind = "prefetch" if args["prefetch"] else "demand"
+            metrics.counter(
+                f"cache.{event.track}.{kind}.{args['outcome']}"
+            ).inc()
+
+        bus.subscribe(EV_DEMAND_COMPLETE, on_demand_complete)
+        bus.subscribe(EV_CACHE_ACCESS, on_l2_access)
+        bus.subscribe(EV_CACHE_ACCESS, on_cache_access)
+        bus.subscribe(EV_PREFETCH_ISSUE, on_prefetch_issue)
+        bus.subscribe(EV_PREFETCH_FILL, on_prefetch_fill)
+        bus.subscribe(EV_PREFETCH_FIRST_HIT, on_prefetch_first_hit)
+        bus.subscribe(EV_DRAM_SERVICE, on_dram_service)
+        bus.subscribe(EV_RTUNIT_STALL, on_stall)
+        bus.subscribe(EV_WARP_ISSUE, on_warp_issue)
+        bus.subscribe(EV_WARP_RETIRE, on_warp_retire)
+        bus.subscribe(EV_MSHR_MERGE, on_mshr_merge)
+
+    # -- summaries ----------------------------------------------------------
+
+    def trace_summary(self) -> dict:
+        """Shape of the captured trace (for reports and CLI output)."""
+        return {
+            "events": len(self.bus),
+            "dropped": self.bus.dropped,
+            "tracks": self.bus.tracks(),
+            "kinds": self.bus.kinds(),
+        }

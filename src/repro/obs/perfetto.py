@@ -1,0 +1,144 @@
+"""Chrome trace-event JSON export (Perfetto / chrome://tracing).
+
+One simulated cycle maps to one microsecond of trace time, so Perfetto's
+time ruler reads directly in cycles.  Tracks (threads of pid 0) are the
+event tracks published on the bus — one per SM, RT unit, cache, and
+DRAM partition — plus Chrome counter events for every registry gauge.
+
+Span-shaped events become complete ("X") slices; point events become
+thread-scoped instants ("i").  Adjacent per-cycle ``rtunit.stall``
+events are merged into single slices so a stalled stretch reads as one
+bar instead of thousands of slivers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .bus import TraceBus
+from .events import EV_RTUNIT_STALL, TraceEvent
+from .metrics import MetricRegistry
+
+PROCESS_NAME = "repro-gpusim"
+
+
+def _merge_stall_spans(events: List[TraceEvent]) -> List[TraceEvent]:
+    """Coalesce adjacent/overlapping stall spans per track."""
+    by_track: Dict[str, List[TraceEvent]] = {}
+    for event in events:
+        by_track.setdefault(event.track, []).append(event)
+    merged: List[TraceEvent] = []
+    for track, spans in by_track.items():
+        spans.sort(key=lambda e: e.cycle)
+        start = end = None
+        for span in spans:
+            s, e = span.cycle, span.cycle + (span.dur or 1)
+            if start is None:
+                start, end = s, e
+            elif s <= end:
+                end = max(end, e)
+            else:
+                merged.append(
+                    TraceEvent(EV_RTUNIT_STALL, start, track, end - start, None)
+                )
+                start, end = s, e
+        if start is not None:
+            merged.append(
+                TraceEvent(EV_RTUNIT_STALL, start, track, end - start, None)
+            )
+    return merged
+
+
+def to_chrome_trace(
+    bus: TraceBus, registry: Optional[MetricRegistry] = None
+) -> dict:
+    """Build the ``{"traceEvents": [...]}`` document from a bus."""
+    tids: Dict[str, int] = {}
+
+    def tid_of(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+        return tid
+
+    plain: List[TraceEvent] = []
+    stalls: List[TraceEvent] = []
+    for event in bus.events:
+        (stalls if event.kind == EV_RTUNIT_STALL else plain).append(event)
+    plain.extend(_merge_stall_spans(stalls))
+
+    records: List[dict] = []
+    for event in plain:
+        record = {
+            "name": event.kind,
+            "cat": event.kind,
+            "ts": event.cycle,
+            "pid": 0,
+            "tid": tid_of(event.track),
+        }
+        if event.dur is not None:
+            record["ph"] = "X"
+            record["dur"] = event.dur
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        if event.args:
+            record["args"] = event.args
+        records.append(record)
+
+    if registry is not None:
+        for name, gauge in sorted(registry.gauges.items()):
+            for cycle, value in zip(gauge.cycles, gauge.values):
+                records.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": cycle,
+                        "pid": 0,
+                        "args": {"value": value},
+                    }
+                )
+
+    # A global sort keeps timestamps nondecreasing on every track.
+    records.sort(key=lambda r: r["ts"])
+
+    metadata: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": PROCESS_NAME},
+        }
+    ]
+    for track, tid in sorted(tids.items(), key=lambda item: item[1]):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+
+    return {
+        "traceEvents": metadata + records,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": PROCESS_NAME,
+            "dropped_events": bus.dropped,
+        },
+    }
+
+
+def write_chrome_trace(
+    path,
+    bus: TraceBus,
+    registry: Optional[MetricRegistry] = None,
+) -> Path:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the path."""
+    out = Path(path)
+    out.write_text(json.dumps(to_chrome_trace(bus, registry)))
+    return out

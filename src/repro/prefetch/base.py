@@ -41,6 +41,10 @@ class Prefetcher:
         self.stats = PrefetcherStats()
         #: the treelet the schedulers should favor; None when undefined.
         self.last_prefetched_treelet: Optional[int] = None
+        #: optional trace bus (repro.obs); None = tracing disabled.
+        self.obs = None
+        #: trace track name (the observer stamps in the SM id).
+        self.obs_track = "Prefetcher"
 
     def on_cycle(self, cycle: int, warps, version: int = -1) -> None:
         """Observe the warp buffer; may enqueue prefetches.

@@ -77,7 +77,7 @@ class TreeletPrefetcher(Prefetcher):
             return  # identical warp-buffer state -> identical decision
         self._next_decision_cycle = cycle + self.voter.period
         self._last_version = version
-        decision = self.voter.decide(warps)
+        decision = self.voter.decide(warps, cycle)
         if decision is None:
             return
         winner, popularity, total_votes = decision
@@ -92,6 +92,18 @@ class TreeletPrefetcher(Prefetcher):
         else:
             fraction = self.heuristic.fraction_to_prefetch(ratio)
         self.stats.decisions += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "prefetch.decision",
+                cycle,
+                self.obs_track,
+                args={
+                    "winner": winner,
+                    "popularity": popularity,
+                    "total_votes": total_votes,
+                    "fraction": fraction,
+                },
+            )
         if fraction <= 0.0:
             return
         lines = self.address_map.prefetch_lines(winner, fraction)

@@ -89,13 +89,19 @@ class MajorityVoter:
         self.mode = mode
         self.latency = latency
         self.stats = VoterStats()
+        #: optional trace bus (repro.obs); None = tracing disabled.
+        self.obs = None
+        #: trace track name (the observer stamps in the SM id).
+        self.obs_track = "Voter"
 
     @property
     def period(self) -> int:
         """Cycles between decisions (at least one)."""
         return max(1, self.latency)
 
-    def decide(self, warps: Iterable) -> Optional[Tuple[int, int, int]]:
+    def decide(
+        self, warps: Iterable, cycle: int = 0
+    ) -> Optional[Tuple[int, int, int]]:
         """Return ``(winner_treelet, popularity, total_votes)`` or None.
 
         ``warps`` are :class:`~repro.gpusim.warp.WarpSlot`-likes exposing
@@ -103,6 +109,7 @@ class MajorityVoter:
         is the number of warp-buffer rays headed for the winner (the
         "ones counter" output) and ``total_votes`` the number of rays
         that voted — the denominator the popularity heuristics use.
+        ``cycle`` is observational only (it timestamps trace events).
         """
         warps = list(warps)
         merged: Counter = Counter()
@@ -132,4 +139,18 @@ class MajorityVoter:
         self.stats.decisions += 1
         if winner == full_winner:
             self.stats.agreements += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "voter.decide",
+                cycle,
+                self.obs_track,
+                args={
+                    "mode": self.mode,
+                    "winner": winner,
+                    "full_winner": full_winner,
+                    "agreed": winner == full_winner,
+                    "popularity": merged[winner],
+                    "total_votes": sum(merged.values()),
+                },
+            )
         return winner, merged[winner], sum(merged.values())

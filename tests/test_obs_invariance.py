@@ -1,0 +1,167 @@
+"""Observer invariance + end-to-end export checks (the tentpole's contract).
+
+Attaching the trace bus to a run must not change a single field of
+``SimStats``, on any (scene, technique) pair — tracing is observation,
+never perturbation.  The exported Chrome trace must be valid JSON with
+per-track monotonically nondecreasing timestamps, and the run report
+must carry the demand-latency and prefetch-timeliness histograms.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import BASELINE, SMOKE, TREELET_PREFETCH, run_experiment
+from repro.cli import main
+from repro.obs import Observer, build_run_report, to_chrome_trace
+
+SCENES = ("WKND", "SHIP")
+TECHNIQUES = {"baseline": BASELINE, "treelet-prefetch": TREELET_PREFETCH}
+
+
+def _observed_pair(scene, technique):
+    plain = run_experiment(scene, technique, SMOKE, use_cache=False)
+    observer = Observer()
+    traced = run_experiment(scene, technique, SMOKE, observer=observer)
+    return plain, traced, observer
+
+
+class TestObserverInvariance:
+    @pytest.mark.parametrize("scene", SCENES)
+    @pytest.mark.parametrize("name", sorted(TECHNIQUES))
+    def test_simstats_bit_identical(self, scene, name):
+        plain, traced, _ = _observed_pair(scene, TECHNIQUES[name])
+        assert dataclasses.asdict(traced.stats) == dataclasses.asdict(
+            plain.stats
+        )
+
+    def test_metrics_agree_with_stats(self):
+        _, traced, observer = _observed_pair("WKND", TREELET_PREFETCH)
+        metrics = observer.metrics
+        # Every demand response was recorded in the latency histogram.
+        hist = metrics.histograms["latency.demand.all"]
+        assert hist.count > 0
+        assert hist.mean == pytest.approx(traced.stats.avg_demand_latency)
+        node = metrics.histograms["latency.demand.node"]
+        assert node.mean == pytest.approx(
+            traced.stats.avg_node_demand_latency
+        )
+        # Counters mirror the simulation-side aggregates exactly.
+        assert (
+            metrics.counters["prefetch.issued"].value
+            == traced.stats.prefetches_issued
+        )
+        assert (
+            metrics.counters["dram.accesses"].value
+            == traced.stats.dram_accesses
+        )
+        assert (
+            metrics.counters["warps.retired"].value == traced.stats.warp_count
+        )
+        per_partition = [
+            metrics.counters[f"dram.partition{p}.accesses"].value
+            for p in range(len(traced.stats.dram_per_partition))
+        ]
+        assert per_partition == traced.stats.dram_per_partition
+        assert (
+            metrics.counters["rtunit.stall_cycles"].value
+            == traced.stats.stall_cycles
+        )
+
+    def test_prefetch_timeliness_histograms_populate(self):
+        _, traced, observer = _observed_pair("WKND", TREELET_PREFETCH)
+        assert traced.stats.prefetches_issued > 0
+        hists = observer.metrics.histograms
+        assert hists["prefetch.issue_to_fill"].count > 0
+        assert hists["prefetch.fill_to_first_hit"].count > 0
+
+    def test_event_taxonomy_coverage(self):
+        _, _, observer = _observed_pair("WKND", TREELET_PREFETCH)
+        kinds = set(observer.bus.kinds())
+        assert {
+            "warp.issue",
+            "warp.retire",
+            "rtunit.stall",
+            "cache.access",
+            "mshr.merge",
+            "dram.service",
+            "demand.complete",
+            "prefetch.issue",
+            "prefetch.fill",
+            "voter.decide",
+        } <= kinds
+
+
+class TestPerfettoRoundTrip:
+    @pytest.mark.parametrize("name", sorted(TECHNIQUES))
+    def test_trace_round_trips_with_monotonic_tracks(self, name):
+        _, _, observer = _observed_pair("SHIP", TECHNIQUES[name])
+        doc = json.loads(
+            json.dumps(to_chrome_trace(observer.bus, observer.metrics))
+        )
+        events = doc["traceEvents"]
+        timed = [e for e in events if e["ph"] != "M"]
+        assert timed
+        last_ts = {}
+        for event in timed:
+            key = (event.get("pid"), event.get("tid"))
+            assert event["ts"] >= last_ts.get(key, 0)
+            last_ts[key] = event["ts"]
+
+    def test_cli_trace_meets_acceptance_bar(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                ["trace", "WKND", "--scale", "smoke", "--out", str(out)]
+            )
+            == 0
+        )
+        doc = json.loads(out.read_text())
+        track_names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        # >= 3 distinct track families: SM, RT unit, DRAM partition.
+        assert any(t.startswith("SM") for t in track_names)
+        assert any(t.startswith("RT") for t in track_names)
+        assert any(t.startswith("DRAM[") for t in track_names)
+        kinds = {
+            e["cat"] for e in doc["traceEvents"] if e["ph"] in ("X", "i")
+        }
+        assert len(kinds) >= 5
+
+    def test_cli_run_report_has_histograms(self, tmp_path):
+        out = tmp_path / "report.json"
+        assert (
+            main(
+                ["run", "WKND", "--scale", "smoke", "--report", str(out)]
+            )
+            == 0
+        )
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.run_report/1"
+        hists = report["metrics"]["histograms"]
+        assert hists["latency.demand.all"]["count"] > 0
+        assert "prefetch.issue_to_fill" in hists
+        assert "prefetch.fill_to_first_hit" in hists
+        assert report["stats"]["cycles"] > 0
+
+    def test_cli_run_json_is_machine_readable(self, capsys):
+        assert main(["run", "WKND", "--scale", "smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["l1"]["demand_accesses"] > 0
+        assert payload["baseline"]["effectiveness"]["timely"] == 0
+        assert payload["speedup"] > 0
+
+    def test_cli_sweep_json(self, capsys):
+        assert (
+            main(
+                ["sweep", "--scenes", "WKND", "--scale", "smoke", "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert "WKND" in payload["scenes"]
+        assert payload["gmean_speedup"] > 0

@@ -23,6 +23,29 @@ class TestMergeCacheStats:
         merged = merge_cache_stats([])
         assert merged.accesses == 0
 
+    def test_explicit_field_list_covers_all_numeric_fields(self):
+        """The merge's explicit field tuple must track the dataclass, so
+        adding a counter without listing it fails loudly here instead of
+        silently dropping it from aggregates."""
+        import dataclasses
+
+        from repro.gpusim.stats import CACHE_STAT_NUMERIC_FIELDS
+
+        numeric = {
+            field.name
+            for field in dataclasses.fields(CacheStats)
+            if isinstance(getattr(CacheStats(), field.name), (int, float))
+        }
+        assert set(CACHE_STAT_NUMERIC_FIELDS) == numeric
+
+    def test_merge_ignores_non_numeric_fields(self):
+        """A non-numeric attribute on CacheStats must not break merging."""
+        a = CacheStats(demand_accesses=1)
+        b = CacheStats(demand_accesses=2)
+        a.debug_label = "L1[0]"  # simulates a future non-numeric field
+        merged = merge_cache_stats([a, b])
+        assert merged.demand_accesses == 3
+
 
 class TestSimStatsDerived:
     def test_zero_cycles_safe(self):

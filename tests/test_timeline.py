@@ -43,10 +43,9 @@ class TestSampler:
         assert sampler.samples
         assert sampler.samples[0].cycle == 0
         cycles = sampler.series("cycle")
-        assert cycles == sorted(cycles)
-        assert all(
-            b - a >= 16 for a, b in zip(cycles, cycles[1:])
-        )
+        # Strictly increasing, never oversampling the interval grid.
+        assert all(b > a for a, b in zip(cycles, cycles[1:]))
+        assert len(cycles) <= stats.cycles // 16 + 1
         assert cycles[-1] <= stats.cycles
 
     def test_observational_only(self, workload):
@@ -76,3 +75,52 @@ class TestSampler:
 
     def test_empty_sampler_mean(self):
         assert TimelineSampler().mean("ready_rays") == 0.0
+
+    def test_no_interval_drift_on_late_calls(self):
+        """A call landing past the boundary must not re-phase the grid.
+
+        The old schedule (``next = cycle + interval``) drifted: a call at
+        cycle 21 with interval 16 pushed the next threshold to 37, so a
+        call at cycle 32 was skipped.  The grid stays at multiples of the
+        interval now.
+        """
+        sampler = TimelineSampler(interval=16)
+        sampler.maybe_sample(0, [])
+        sampler.maybe_sample(21, [])  # late past the 16 boundary
+        sampler.maybe_sample(32, [])  # exactly on the next grid point
+        assert sampler.series("cycle") == [0, 21, 32]
+
+    def test_late_call_skips_missed_grid_points_once(self):
+        """Jumping over several boundaries samples once, then realigns."""
+        sampler = TimelineSampler(interval=10)
+        sampler.maybe_sample(0, [])
+        sampler.maybe_sample(35, [])  # crossed 10, 20, 30
+        sampler.maybe_sample(39, [])  # before 40: no sample
+        sampler.maybe_sample(40, [])
+        assert sampler.series("cycle") == [0, 35, 40]
+
+    def test_registry_gauge_fold(self):
+        """Samples mirror into a MetricRegistry as gauge series."""
+        from repro.obs import MetricRegistry
+
+        class FakePrefetcher:
+            def queue_depth(self):
+                return 3
+
+        class FakeUnit:
+            sm_id = 0
+            buffer = [object(), object()]
+            prefetcher = FakePrefetcher()
+
+            def ready_total(self):
+                return 5
+
+        registry = MetricRegistry()
+        sampler = TimelineSampler(interval=4, registry=registry)
+        sampler.maybe_sample(0, [FakeUnit()])
+        sampler.maybe_sample(4, [FakeUnit()])
+        ready = registry.gauge("occupancy.ready_rays")
+        assert ready.cycles == [0, 4]
+        assert ready.values == [5, 5]
+        assert registry.gauge("occupancy.sm0.resident_warps").values == [2, 2]
+        assert registry.gauge("prefetch.queue_depth").last == 3

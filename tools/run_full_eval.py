@@ -9,7 +9,13 @@ Equivalent to:
 
 with outputs teed to ``test_output.txt`` / ``bench_output.txt``.
 
+With ``--reports``, additionally writes one ``repro.run_report/1``
+document per evaluation scene (headline technique, observer attached)
+to ``results/reports/`` — the structured stats + histograms consumed by
+downstream tooling (see ``docs/observability.md``).
+
 Usage:  python tools/run_full_eval.py [--scale smoke|default|full]
+                                      [--reports]
 """
 
 from __future__ import annotations
@@ -38,6 +44,39 @@ def run(cmd, log_name, env):
     return process.returncode
 
 
+def generate_reports(env) -> int:
+    """One run_report.json per bench scene for the headline technique."""
+    src = str(ROOT / "src")
+    env = dict(env)
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    sys.path.insert(0, src)
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+    try:
+        from common import bench_scenes  # benchmarks/common.py
+
+        scenes = bench_scenes()
+    finally:
+        sys.path.pop(0)
+        sys.path.pop(0)
+    reports_dir = ROOT / "results" / "reports"
+    reports_dir.mkdir(parents=True, exist_ok=True)
+    for scene in scenes:
+        code = run(
+            [
+                sys.executable, "-m", "repro", "run", scene,
+                "--scale", env.get("REPRO_SCALE", "default"),
+                "--report", str(reports_dir / f"{scene}.json"),
+            ],
+            f"report_{scene}.log", env,
+        )
+        if code != 0:
+            return code
+    print(f"run reports in {reports_dir}")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument(
@@ -46,6 +85,10 @@ def main() -> int:
     parser.add_argument(
         "--skip-tests", action="store_true",
         help="only run the benchmark harness",
+    )
+    parser.add_argument(
+        "--reports", action="store_true",
+        help="also write per-scene run_report.json files",
     )
     args = parser.parse_args()
     env = dict(os.environ, REPRO_SCALE=args.scale)
@@ -65,6 +108,11 @@ def main() -> int:
     if code != 0:
         print("benchmarks failed", file=sys.stderr)
         return code
+    if args.reports:
+        code = generate_reports(env)
+        if code != 0:
+            print("report generation failed", file=sys.stderr)
+            return code
     code = run(
         [sys.executable, "tools/make_experiments_md.py"],
         "experiments_gen.log", env,

@@ -16,6 +16,7 @@ Scene coverage follows the active scale (``REPRO_SCALE``):
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional
@@ -25,6 +26,36 @@ from repro.core import ExperimentResult, Scale, format_table, geomean
 from repro.scenes import ALL_SCENES
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "results"
+
+
+def enable_default_cache():
+    """Activate the persistent artifact cache for the bench harness.
+
+    Benchmarks rebuild the same scenes/BVHs/traces on every process
+    start; the on-disk cache (``results/cache`` unless
+    ``REPRO_CACHE_DIR`` overrides) makes repeat runs skip all of it.
+    ``REPRO_CACHE=off`` disables.  Returns the active cache or None.
+    """
+    from repro.exec import cache_dir_from_env, set_artifact_cache
+    from repro.exec.cache import cache_disabled_by_env
+
+    if cache_disabled_by_env():
+        return None
+    return set_artifact_cache(
+        cache_dir_from_env() or RESULTS_PATH / "cache"
+    )
+
+
+#: The harness caches by default — every bench process shares artifacts.
+enable_default_cache()
+
+
+def default_jobs() -> int:
+    """Worker count for benchmark sweeps (``REPRO_JOBS``, default 1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
 
 _SMOKE_SCENES = ("WKND", "SHIP", "BUNNY", "SPNZA")
 _DEFAULT_SCENES = (
@@ -61,11 +92,20 @@ def sweep(
     technique: Technique,
     scenes: Optional[Iterable[str]] = None,
     scale: Optional[Scale] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, ExperimentResult]:
     scale = scale or active_scale()
+    scenes = list(scenes or bench_scenes(scale))
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs > 1 and len(scenes) > 1:
+        # Fan out across workers; results land in the in-process
+        # memoizer, so the comprehension below is pure lookups.
+        from repro.exec import prewarm_results
+
+        prewarm_results([technique], scenes, scale, jobs=jobs)
     return {
         scene: run_experiment(scene, technique, scale)
-        for scene in (scenes or bench_scenes(scale))
+        for scene in scenes
     }
 
 

@@ -10,10 +10,15 @@ Commands:
   (open in Perfetto / chrome://tracing).
 * ``render`` — render an ASCII/PGM frame of a scene.
 * ``figures`` — recorded benchmark results as terminal charts.
+* ``cache`` — inspect or clear the persistent artifact cache.
 
 ``run`` and ``sweep`` take ``--json`` (machine-readable SimStats on
 stdout) and ``--report PATH`` (structured ``run_report.json`` with
-demand-latency and prefetch-timeliness histograms).
+demand-latency and prefetch-timeliness histograms).  ``sweep`` takes
+``--jobs N`` to fan evaluations across worker processes, and
+``run``/``sweep``/``trace`` take ``--cache-dir`` to persist built
+BVHs/rays/traces between invocations (``REPRO_CACHE_DIR`` works too;
+see ``docs/execution.md``).
 
 All heavy options map one-to-one onto :class:`repro.core.Technique`.
 """
@@ -72,6 +77,28 @@ def _add_technique_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--voter-latency", type=int, default=0)
     parser.add_argument("--mapping-mode",
                         choices=["none", "loose", "strict"], default="none")
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persist built BVHs/rays/traces here and reload them on "
+             "repeat invocations (default: $REPRO_CACHE_DIR if set)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir/$REPRO_CACHE_DIR for this invocation",
+    )
+
+
+def _activate_cache(args: argparse.Namespace):
+    """Point the pipeline at the requested on-disk artifact cache."""
+    from .exec import cache_dir_from_env, set_artifact_cache
+
+    if getattr(args, "no_cache", False):
+        return set_artifact_cache(None)
+    path = getattr(args, "cache_dir", None) or cache_dir_from_env()
+    return set_artifact_cache(path) if path else None
 
 
 def _technique_from_args(args: argparse.Namespace) -> Technique:
@@ -145,6 +172,7 @@ def _write_report(path, scene, technique, scale, result, observer) -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     technique = _technique_from_args(args)
+    _activate_cache(args)
     base = run_experiment(args.scene, BASELINE, scale)
     if args.report:
         result, observer = _observed_run(args.scene, technique, scale)
@@ -187,6 +215,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     technique = _technique_from_args(args)
     scenes = args.scenes or list(ALL_SCENES)
+    _activate_cache(args)
+    if args.jobs > 1:
+        # Fan every (scene, technique) evaluation across workers; the
+        # loop below then assembles from the seeded result memoizer.
+        # (--report runs re-simulate with an observer attached.)
+        from .exec import prewarm_results
+
+        prewarm_results(
+            [BASELINE, technique], scenes, scale, jobs=args.jobs
+        )
     rows = []
     gains = []
     reports = {}
@@ -251,6 +289,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     scale = _SCALES[args.scale]
     technique = _technique_from_args(args)
+    _activate_cache(args)
     observer = Observer(max_events=args.max_events)
     result = run_experiment(args.scene, technique, scale, observer=observer)
     path = write_chrome_trace(args.out, observer.bus, observer.metrics)
@@ -290,6 +329,28 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         print("results file contains no renderable figures", file=sys.stderr)
         return 1
     print("\n\n".join(blocks))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .exec import ArtifactCache, default_cache_dir
+
+    root = args.cache_dir or default_cache_dir()
+    if root is None:
+        print("caching is disabled (REPRO_CACHE=off)", file=sys.stderr)
+        return 1
+    cache = ArtifactCache(root)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached artifact(s) from {cache.root}")
+        return 0
+    info = cache.describe()
+    print(banner(f"artifact cache @ {info['root']}"))
+    print(f"schema version:  v{info['schema_version']}")
+    print(f"entries:         {info['entries']}")
+    print(f"size:            {info['size_bytes'] / 1024.0:.1f} KiB")
+    for kind, count in sorted(info["per_kind"].items()):
+        print(f"  {kind + ':':<16}{count}")
     return 0
 
 
@@ -336,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--report",
                      help="write a structured run_report.json here")
     _add_technique_args(run)
+    _add_cache_args(run)
 
     sweep = sub.add_parser("sweep", help="one technique across scenes")
     sweep.add_argument("--scenes", nargs="*", choices=list(ALL_SCENES))
@@ -344,7 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print machine-readable SimStats JSON")
     sweep.add_argument("--report",
                        help="write per-scene run reports to this file")
+    sweep.add_argument("--jobs", type=_positive_int, default=1,
+                       help="evaluate scenes across N worker processes "
+                            "(results identical to --jobs 1)")
     _add_technique_args(sweep)
+    _add_cache_args(sweep)
 
     trace = sub.add_parser(
         "trace", help="trace one run; export Perfetto/Chrome JSON"
@@ -358,6 +424,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--max-events", type=_positive_int, default=1_000_000,
                        help="retained-event cap (excess is dropped)")
     _add_technique_args(trace)
+    _add_cache_args(trace)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache"
+    )
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="cache root (default: $REPRO_CACHE_DIR or results/cache)",
+    )
 
     rend = sub.add_parser("render", help="render a scene frame")
     rend.add_argument("scene", choices=list(ALL_SCENES))
@@ -381,6 +457,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "render": _cmd_render,
     "figures": _cmd_figures,
+    "cache": _cmd_cache,
 }
 
 

@@ -215,11 +215,62 @@ class ExperimentResult:
 # Memoized workload construction.
 # ---------------------------------------------------------------------------
 
+_SCENE_CACHE: Dict[Tuple[str, float], object] = {}
 _BVH_CACHE: Dict[Tuple[str, float], FlatBVH] = {}
 _RAY_CACHE: Dict[Tuple[str, float, int, int, bool], List[Ray]] = {}
-_DECOMP_CACHE: Dict[Tuple[str, float, int], TreeletDecomposition] = {}
+_DECOMP_CACHE: Dict[Tuple[str, float, int, str], TreeletDecomposition] = {}
 _TRACE_CACHE: Dict[tuple, List[RayTrace]] = {}
 _RESULT_CACHE: Dict[tuple, ExperimentResult] = {}
+
+#: Count of heavyweight artifacts actually *constructed* this process
+#: (in-memory or on-disk cache hits do not count).  The repro.exec
+#: tests assert a warm artifact cache keeps these at zero.
+BUILD_COUNTS: Dict[str, int] = {
+    "scene": 0,
+    "bvh": 0,
+    "rays": 0,
+    "traces": 0,
+    "decomposition": 0,
+}
+
+
+def reset_build_counts() -> None:
+    for key in BUILD_COUNTS:
+        BUILD_COUNTS[key] = 0
+
+
+def build_counts() -> Dict[str, int]:
+    """Snapshot of :data:`BUILD_COUNTS` (artifacts constructed so far)."""
+    return dict(BUILD_COUNTS)
+
+
+def _artifact_cache():
+    """The process-wide on-disk artifact cache, or None when disabled.
+
+    Imported lazily: :mod:`repro.exec` depends on this module, so the
+    dependency must not exist at import time.
+    """
+    from ..exec.cache import get_artifact_cache
+
+    return get_artifact_cache()
+
+
+def _cache_components(scene_name: str, scale: Scale) -> Dict[str, object]:
+    """Fingerprint components every derived artifact depends on."""
+    from dataclasses import asdict
+
+    return {
+        "scene": scene_name,
+        "scene_scale": scale.scene_scale,
+        "build": asdict(DEFAULT_BUILD),
+        "branching": DEFAULT_BRANCHING,
+    }
+
+
+def _raygen_components(scale: Scale) -> Dict[str, object]:
+    from dataclasses import asdict
+
+    return {"raygen": asdict(scale.raygen())}
 
 
 #: Build parameters matching Embree's *effective* shape: the node format
@@ -230,16 +281,38 @@ DEFAULT_BUILD = BuildConfig(max_leaf_size=2)
 DEFAULT_BRANCHING = 3
 
 
+def get_scene(scene_name: str, scale: Scale):
+    """The built scene, memoized per (name, scale) like every other
+    artifact so one (scene, scale) pays construction exactly once."""
+    key = (scene_name, scale.scene_scale)
+    if key not in _SCENE_CACHE:
+        BUILD_COUNTS["scene"] += 1
+        _SCENE_CACHE[key] = build_scene(scene_name, scale.scene_scale)
+    return _SCENE_CACHE[key]
+
+
 def get_bvh(scene_name: str, scale: Scale) -> FlatBVH:
     key = (scene_name, scale.scene_scale)
     if key not in _BVH_CACHE:
-        scene = build_scene(scene_name, scale.scene_scale)
-        _BVH_CACHE[key] = build_wide_bvh(
-            scene.mesh.triangles(),
-            config=DEFAULT_BUILD,
-            branching_factor=DEFAULT_BRANCHING,
-            name=scene_name,
-        )
+        cache = _artifact_cache()
+        bvh = None
+        fingerprint = None
+        if cache is not None:
+            fingerprint = cache.fingerprint(
+                "bvh", _cache_components(scene_name, scale)
+            )
+            bvh = cache.load("bvh", fingerprint)
+        if bvh is None:
+            BUILD_COUNTS["bvh"] += 1
+            bvh = build_wide_bvh(
+                get_scene(scene_name, scale).mesh.triangles(),
+                config=DEFAULT_BUILD,
+                branching_factor=DEFAULT_BRANCHING,
+                name=scene_name,
+            )
+            if cache is not None:
+                cache.store("bvh", fingerprint, bvh)
+        _BVH_CACHE[key] = bvh
     return _BVH_CACHE[key]
 
 
@@ -252,9 +325,23 @@ def get_rays(scene_name: str, scale: Scale) -> List[Ray]:
         scale.secondary,
     )
     if key not in _RAY_CACHE:
-        scene = build_scene(scene_name, scale.scene_scale)
-        bvh = get_bvh(scene_name, scale)
-        _RAY_CACHE[key] = generate_rays(scene.camera, bvh, scale.raygen())
+        cache = _artifact_cache()
+        rays = None
+        fingerprint = None
+        if cache is not None:
+            components = _cache_components(scene_name, scale)
+            components.update(_raygen_components(scale))
+            fingerprint = cache.fingerprint("rays", components)
+            rays = cache.load("rays", fingerprint)
+        if rays is None:
+            BUILD_COUNTS["rays"] += 1
+            bvh = get_bvh(scene_name, scale)
+            rays = generate_rays(
+                get_scene(scene_name, scale).camera, bvh, scale.raygen()
+            )
+            if cache is not None:
+                cache.store("rays", fingerprint, rays)
+        _RAY_CACHE[key] = rays
     return _RAY_CACHE[key]
 
 
@@ -266,9 +353,23 @@ def get_decomposition(
 ) -> TreeletDecomposition:
     key = (scene_name, scale.scene_scale, treelet_bytes, strategy)
     if key not in _DECOMP_CACHE:
-        _DECOMP_CACHE[key] = form_treelets(
-            get_bvh(scene_name, scale), treelet_bytes, strategy
-        )
+        cache = _artifact_cache()
+        decomposition = None
+        fingerprint = None
+        if cache is not None:
+            components = _cache_components(scene_name, scale)
+            components["treelet_bytes"] = treelet_bytes
+            components["formation"] = strategy
+            fingerprint = cache.fingerprint("decomposition", components)
+            decomposition = cache.load("decomposition", fingerprint)
+        if decomposition is None:
+            BUILD_COUNTS["decomposition"] += 1
+            decomposition = form_treelets(
+                get_bvh(scene_name, scale), treelet_bytes, strategy
+            )
+            if cache is not None:
+                cache.store("decomposition", fingerprint, decomposition)
+        _DECOMP_CACHE[key] = decomposition
     return _DECOMP_CACHE[key]
 
 
@@ -293,23 +394,45 @@ def get_traces(
         formation if traversal == "treelet" else "",
     )
     if key not in _TRACE_CACHE:
-        bvh = get_bvh(scene_name, scale)
-        rays = [ray.clone() for ray in get_rays(scene_name, scale)]
-        if traversal == "dfs":
-            traces = traverse_dfs_batch(rays, bvh)
-        else:
-            decomposition = get_decomposition(
-                scene_name, scale, treelet_bytes, formation
-            )
-            traces = traverse_two_stack_batch(
-                rays, bvh, decomposition, deferred_order
-            )
+        cache = _artifact_cache()
+        traces = None
+        fingerprint = None
+        if cache is not None:
+            components = _cache_components(scene_name, scale)
+            components.update(_raygen_components(scale))
+            components["traversal"] = traversal
+            if traversal == "treelet":
+                components["treelet_bytes"] = treelet_bytes
+                components["deferred_order"] = deferred_order
+                components["formation"] = formation
+            fingerprint = cache.fingerprint("traces", components)
+            traces = cache.load("traces", fingerprint)
+        if traces is None:
+            BUILD_COUNTS["traces"] += 1
+            bvh = get_bvh(scene_name, scale)
+            rays = [ray.clone() for ray in get_rays(scene_name, scale)]
+            if traversal == "dfs":
+                traces = traverse_dfs_batch(rays, bvh)
+            else:
+                decomposition = get_decomposition(
+                    scene_name, scale, treelet_bytes, formation
+                )
+                traces = traverse_two_stack_batch(
+                    rays, bvh, decomposition, deferred_order
+                )
+            if cache is not None:
+                cache.store("traces", fingerprint, traces)
         _TRACE_CACHE[key] = traces
     return _TRACE_CACHE[key]
 
 
 def clear_caches() -> None:
-    """Drop all memoized workload artifacts (tests use this)."""
+    """Drop all memoized workload artifacts (tests use this).
+
+    Only in-memory memoizers are dropped; the on-disk artifact cache
+    (:mod:`repro.exec.cache`), when active, survives and reloads them.
+    """
+    _SCENE_CACHE.clear()
     _BVH_CACHE.clear()
     _RAY_CACHE.clear()
     _DECOMP_CACHE.clear()

@@ -74,7 +74,9 @@ class SweepResult:
     @property
     def gmean_power_ratio(self) -> float:
         values = [o.power_ratio for o in self.outcomes.values()]
-        return geomean(values) if values else 0.0
+        # Neutral default for an empty sweep, matching
+        # SceneOutcome.power_ratio's degenerate-baseline convention.
+        return geomean(values) if values else 1.0
 
     def best_scene(self) -> Optional[str]:
         if not self.outcomes:
@@ -92,8 +94,24 @@ def run_sweep(
     scenes: Iterable[str],
     scale: Scale = DEFAULT,
     baseline: Technique = BASELINE,
+    jobs: int = 1,
+    progress=None,
 ) -> SweepResult:
-    """Evaluate ``technique`` against ``baseline`` on every scene."""
+    """Evaluate ``technique`` against ``baseline`` on every scene.
+
+    ``jobs > 1`` fans the (scene, technique) evaluations across worker
+    processes via :mod:`repro.exec`; per-scene ``SimStats`` are
+    bit-identical to the serial path (the executor only relocates the
+    work).  ``progress`` is the executor's ``(done, total, job,
+    source)`` callback.
+    """
+    scenes = list(scenes)
+    if jobs > 1 and scenes:
+        from ..exec import run_sweep_parallel
+
+        return run_sweep_parallel(
+            technique, scenes, scale, baseline, jobs=jobs, progress=progress
+        )
     result = SweepResult(technique=technique)
     for scene in scenes:
         result.outcomes[scene] = SceneOutcome(
@@ -108,9 +126,21 @@ def compare_techniques(
     techniques: Dict[str, Technique],
     scenes: Iterable[str],
     scale: Scale = DEFAULT,
+    jobs: int = 1,
+    progress=None,
 ) -> Dict[str, SweepResult]:
-    """Sweep several labeled techniques over the same scene set."""
+    """Sweep several labeled techniques over the same scene set.
+
+    ``jobs > 1`` evaluates every (technique, scene) pair — the shared
+    baseline included once — across one worker pool.
+    """
     scenes = list(scenes)
+    if jobs > 1 and scenes and techniques:
+        from ..exec import compare_techniques_parallel
+
+        return compare_techniques_parallel(
+            techniques, scenes, scale, jobs=jobs, progress=progress
+        )
     return {
         label: run_sweep(technique, scenes, scale)
         for label, technique in techniques.items()

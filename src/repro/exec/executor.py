@@ -1,0 +1,284 @@
+"""Parallel sweep executor: fan (scene, technique, scale) jobs across
+worker processes with deterministic merging.
+
+Every job is one :func:`repro.core.pipeline.run_experiment` call.  The
+simulation is deterministic, so a worker produces :class:`SimStats`
+bit-for-bit identical to the serial path; the executor only changes
+*where* jobs run, never *what* they compute.  Results are merged in
+submission order, so sweeps assemble identically regardless of which
+worker finished first.
+
+Robustness: a job that raises in a worker is retried (bounded) in the
+pool; on exhaustion, a timeout, or a broken pool (hard worker crash)
+the job falls back to in-process execution, so a sweep always
+completes with correct results.  Workers share the on-disk artifact
+cache (:mod:`repro.exec.cache`), so each scene's BVH/rays/traces are
+built once across the whole fleet.
+
+Progress is reported through an optional callback and, when a
+:class:`repro.obs.MetricRegistry` is supplied, through ``exec.*``
+counters (jobs done, per-source breakdown, retries) — the same metric
+surface every other subsystem uses.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.pipeline import (
+    BASELINE,
+    DEFAULT,
+    ExperimentResult,
+    Scale,
+    Technique,
+    run_experiment,
+)
+from .cache import get_artifact_cache, set_artifact_cache
+
+
+@dataclass(frozen=True)
+class Job:
+    """One (scene, technique, scale) evaluation."""
+
+    scene: str
+    technique: Technique
+    scale: Scale
+
+    def key(self):
+        return (self.scene, self.technique, self.scale.name)
+
+
+#: progress callback signature: (done, total, job, source) where source
+#: is "pool", "pool-retry", or "inprocess".
+ProgressFn = Callable[[int, int, Job, str], None]
+
+
+@dataclass
+class ExecutionReport:
+    """What happened while executing a batch of jobs."""
+
+    submitted: int = 0
+    completed: int = 0
+    from_pool: int = 0
+    retried: int = 0
+    timeouts: int = 0
+    worker_failures: int = 0
+    inprocess_fallbacks: int = 0
+    pool_broken: bool = False
+    sources: Dict[str, int] = field(default_factory=dict)
+
+    def note(self, source: str) -> None:
+        self.completed += 1
+        self.sources[source] = self.sources.get(source, 0) + 1
+        if source.startswith("pool"):
+            self.from_pool += 1
+        else:
+            self.inprocess_fallbacks += 1
+
+
+def _init_worker(cache_dir: Optional[str]) -> None:
+    """Pool initializer: point the worker at the shared artifact cache."""
+    if cache_dir:
+        set_artifact_cache(cache_dir)
+
+
+def _run_job(job: Job) -> ExperimentResult:
+    """Evaluate one job (top-level so it pickles into workers)."""
+    return run_experiment(job.scene, job.technique, job.scale)
+
+
+def _mp_context():
+    """Fork when the platform has it (fast, inherits warm memoizers);
+    spawn otherwise.  ``REPRO_MP_START`` overrides."""
+    import multiprocessing
+
+    name = os.environ.get("REPRO_MP_START", "").strip()
+    if name:
+        return multiprocessing.get_context(name)
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context("spawn")
+
+
+def metrics_progress(registry) -> ProgressFn:
+    """A progress callback that folds into a repro.obs MetricRegistry."""
+
+    def progress(done: int, total: int, job: Job, source: str) -> None:
+        registry.counter("exec.jobs_done").inc()
+        registry.counter(f"exec.jobs_{source.replace('-', '_')}").inc()
+
+    return progress
+
+
+def execute_jobs(
+    jobs: Sequence[Job],
+    workers: int,
+    *,
+    cache_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[ProgressFn] = None,
+    metrics=None,
+    job_fn: Callable[[Job], ExperimentResult] = _run_job,
+    report: Optional[ExecutionReport] = None,
+) -> List[ExperimentResult]:
+    """Run every job and return results in input order.
+
+    Duplicate jobs (same scene/technique/scale) are evaluated once.
+    ``workers <= 1`` runs everything in-process (no pool).  ``job_fn``
+    is injectable for fault-injection tests.  ``metrics`` (a
+    :class:`repro.obs.MetricRegistry`) adds ``exec.*`` counters on top
+    of any explicit ``progress`` callback.
+    """
+    report = report if report is not None else ExecutionReport()
+    jobs = list(jobs)
+    if cache_dir is None and get_artifact_cache() is not None:
+        cache_dir = str(get_artifact_cache().root)
+
+    callbacks: List[ProgressFn] = []
+    if progress is not None:
+        callbacks.append(progress)
+    if metrics is not None:
+        callbacks.append(metrics_progress(metrics))
+
+    unique: List[Job] = []
+    seen = {}
+    for job in jobs:
+        if job.key() not in seen:
+            seen[job.key()] = len(unique)
+            unique.append(job)
+    report.submitted = len(unique)
+
+    def announce(done: int, job: Job, source: str) -> None:
+        report.note(source)
+        for callback in callbacks:
+            callback(done, len(unique), job, source)
+
+    results: Dict[tuple, ExperimentResult] = {}
+    if workers <= 1 or len(unique) <= 1:
+        for index, job in enumerate(unique):
+            results[job.key()] = job_fn(job)
+            announce(index + 1, job, "inprocess")
+        return [results[job.key()] for job in jobs]
+
+    ctx = _mp_context()
+    pool = ProcessPoolExecutor(
+        max_workers=min(workers, len(unique)),
+        mp_context=ctx,
+        initializer=_init_worker,
+        initargs=(cache_dir,),
+    )
+    pool_healthy = True
+    try:
+        futures = {job.key(): pool.submit(job_fn, job) for job in unique}
+        done = 0
+        for job in unique:
+            result = None
+            source = "pool"
+            attempts = 0
+            future = futures[job.key()]
+            while pool_healthy:
+                try:
+                    result = future.result(timeout=job_timeout)
+                    break
+                except FutureTimeoutError:
+                    report.timeouts += 1
+                    # The worker is wedged on this job; don't trust the
+                    # pool slot again for it.
+                    break
+                except BrokenProcessPool:
+                    report.pool_broken = True
+                    pool_healthy = False
+                    break
+                except Exception:
+                    report.worker_failures += 1
+                    if attempts < retries:
+                        attempts += 1
+                        report.retried += 1
+                        source = "pool-retry"
+                        try:
+                            future = pool.submit(job_fn, job)
+                        except Exception:
+                            pool_healthy = False
+                            break
+                        continue
+                    break
+            if result is None:
+                # Graceful fallback: evaluate here, in this process.
+                result = job_fn(job)
+                source = "inprocess"
+            results[job.key()] = result
+            done += 1
+            announce(done, job, source)
+    finally:
+        # Don't block on wedged workers; drop anything still queued.
+        wait = pool_healthy and report.timeouts == 0
+        pool.shutdown(wait=wait, cancel_futures=True)
+    return [results[job.key()] for job in jobs]
+
+
+def prewarm_results(
+    techniques: Iterable[Technique],
+    scenes: Iterable[str],
+    scale: Scale = DEFAULT,
+    jobs: int = 1,
+    **options,
+) -> List[ExperimentResult]:
+    """Evaluate every (scene, technique) pair and seed the in-process
+    result memoizer, so subsequent serial code (sweep assembly, report
+    loops, benchmarks) hits memory instead of re-simulating."""
+    from ..core import pipeline
+
+    batch = [
+        Job(scene=scene, technique=technique, scale=scale)
+        for technique in techniques
+        for scene in scenes
+    ]
+    results = execute_jobs(batch, workers=jobs, **options)
+    for job, result in zip(batch, results):
+        pipeline._RESULT_CACHE.setdefault(job.key(), result)
+    return results
+
+
+def run_sweep_parallel(
+    technique: Technique,
+    scenes: Iterable[str],
+    scale: Scale = DEFAULT,
+    baseline: Technique = BASELINE,
+    jobs: int = 2,
+    **options,
+):
+    """Parallel :func:`repro.core.sweeps.run_sweep` — identical results,
+    evaluated across ``jobs`` worker processes."""
+    from ..core.sweeps import run_sweep
+
+    scenes = list(scenes)
+    prewarm_results([baseline, technique], scenes, scale, jobs=jobs, **options)
+    # Assembly is pure memo lookups now; jobs=1 avoids re-entering here.
+    return run_sweep(technique, scenes, scale, baseline)
+
+
+def compare_techniques_parallel(
+    techniques: Dict[str, Technique],
+    scenes: Iterable[str],
+    scale: Scale = DEFAULT,
+    baseline: Technique = BASELINE,
+    jobs: int = 2,
+    **options,
+):
+    """Parallel :func:`repro.core.sweeps.compare_techniques`: every
+    (technique, scene) pair — baseline included once — fans out over
+    one shared pool."""
+    from ..core.sweeps import compare_techniques
+
+    scenes = list(scenes)
+    prewarm_results(
+        [baseline, *techniques.values()], scenes, scale, jobs=jobs, **options
+    )
+    return compare_techniques(techniques, scenes, scale)

@@ -193,6 +193,7 @@ class GpuModel:
             stats.prefetches_issued += unit.stats.prefetches_issued
             stats.busy_cycles += unit.stats.busy_cycles
             stats.stall_cycles += unit.stats.stall_cycles
+            stats.mshr_stall_cycles += unit.stats.mshr_stall_cycles
             warp_latency += unit.stats.warp_latency_total
             warps_retired += unit.stats.warps_retired
         if warps_retired:

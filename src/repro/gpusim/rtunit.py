@@ -32,6 +32,7 @@ class RTUnitStats:
     warp_latency_total: int = 0
     busy_cycles: int = 0  # cycles with at least one demand issue
     stall_cycles: int = 0  # cycles with resident warps but no ready ray
+    mshr_stall_cycles: int = 0  # ready ray but L1 MSHRs full
 
 
 class RTUnit:
@@ -105,6 +106,16 @@ class RTUnit:
             issued = self._issue_demand(warp, cycle)
             if issued:
                 self.stats.busy_cycles += 1
+        elif warp is not None:
+            # A warp was selectable but the L1's MSHRs are full: the
+            # unit is bandwidth-bound, not latency-bound.  Counted
+            # separately so prefetch-induced MSHR pressure is visible.
+            self.stats.mshr_stall_cycles += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    "rtunit.stall", cycle, f"RT{self.sm_id}", dur=1,
+                    args={"reason": "mshr"},
+                )
         elif self.buffer:
             # Warps resident but every ray is waiting on memory or the
             # op units: the latency-bound stall the paper targets.

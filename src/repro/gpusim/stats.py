@@ -26,7 +26,8 @@ class SimStats:
     prefetches_issued: int = 0
     warp_latency_avg: float = 0.0
     busy_cycles: int = 0  # summed over RT units
-    stall_cycles: int = 0  # summed over RT units
+    stall_cycles: int = 0  # summed over RT units (no ready ray)
+    mshr_stall_cycles: int = 0  # summed over RT units (MSHRs full)
     # Memory-side aggregates.
     avg_node_demand_latency: float = 0.0
     avg_demand_latency: float = 0.0
@@ -49,10 +50,23 @@ class SimStats:
 
     @property
     def stall_fraction(self) -> float:
-        """Stalled RT-unit cycles per total unit-cycles (latency-bound
-        indicator; prefetching should reduce it)."""
-        denominator = self.busy_cycles + self.stall_cycles
+        """Latency-bound stalls per total non-idle unit-cycle (the
+        indicator prefetching should reduce).  Bandwidth-bound cycles
+        (MSHRs full) are counted in the denominator but not the
+        numerator — see :attr:`mshr_stall_fraction`."""
+        denominator = (
+            self.busy_cycles + self.stall_cycles + self.mshr_stall_cycles
+        )
         return self.stall_cycles / denominator if denominator else 0.0
+
+    @property
+    def mshr_stall_fraction(self) -> float:
+        """Bandwidth-bound stalls (ready ray, L1 MSHRs full) per total
+        non-idle unit-cycle."""
+        denominator = (
+            self.busy_cycles + self.stall_cycles + self.mshr_stall_cycles
+        )
+        return self.mshr_stall_cycles / denominator if denominator else 0.0
 
     @property
     def ipc(self) -> float:

@@ -178,7 +178,14 @@ class Observer:
                 metrics.counter("dram.wait_cycles").inc(args["wait"])
 
         def on_stall(event) -> None:
-            metrics.counter("rtunit.stall_cycles").inc(event.dur or 1)
+            # MSHR-full cycles are bandwidth-bound; keep them out of the
+            # latency-bound stall counter (mirrors SimStats' split).
+            if event.args and event.args.get("reason") == "mshr":
+                metrics.counter("rtunit.mshr_stall_cycles").inc(
+                    event.dur or 1
+                )
+            else:
+                metrics.counter("rtunit.stall_cycles").inc(event.dur or 1)
 
         def on_warp_issue(_event) -> None:
             metrics.counter("warps.issued").inc()

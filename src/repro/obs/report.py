@@ -34,6 +34,7 @@ def simstats_to_dict(stats) -> dict:
     data["derived"] = {
         "ipc": stats.ipc,
         "stall_fraction": stats.stall_fraction,
+        "mshr_stall_fraction": stats.mshr_stall_fraction,
         "l2_bandwidth": stats.l2_bandwidth,
         "l1_breakdown": stats.l1_breakdown(),
         "effectiveness_fractions": stats.effectiveness.fractions(),

@@ -23,6 +23,9 @@ class PrefetchRequest:
     region: str = "node"
     #: invoked when the prefetch's data arrives (Strict Wait uses this).
     on_complete: Optional[Callable[[int], None]] = None
+    #: earliest cycle this entry may issue (the voter-latency gate is
+    #: per entry: a later decision must not re-delay earlier entries).
+    release_cycle: int = 0
 
 
 @dataclass

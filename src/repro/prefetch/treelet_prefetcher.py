@@ -62,7 +62,6 @@ class TreeletPrefetcher(Prefetcher):
         self.queue_limit = queue_limit
         self._queue: Deque[PrefetchRequest] = deque()
         self._next_decision_cycle = 0
-        self._release_cycle = 0  # voter latency gate on queued entries
         self._last_version = -2  # warp-buffer state version last voted on
         self._strict_outstanding = 0  # Strict Wait mapping loads in flight
 
@@ -112,21 +111,26 @@ class TreeletPrefetcher(Prefetcher):
         self.last_prefetched_treelet = winner
         self.stats.treelets_prefetched += 1
         # Entries become issueable only after the voter latency elapses.
-        self._release_cycle = cycle + self.voter.latency
+        # The gate is carried per entry: a decision landing while earlier
+        # entries are still queued must not re-delay them.
+        release = cycle + self.voter.latency
         if self.mapping_mode is None:
-            self._enqueue_lines(lines)
+            self._enqueue_lines(lines, release=release)
         elif self.mapping_mode == "loose":
-            self._enqueue_lines(self.address_map.mapping_lines(winner), "mapping")
-            self._enqueue_lines(lines)
+            self._enqueue_lines(
+                self.address_map.mapping_lines(winner), "mapping",
+                release=release,
+            )
+            self._enqueue_lines(lines, release=release)
         else:  # strict
-            self._enqueue_strict(winner, lines)
+            self._enqueue_strict(winner, lines, release)
 
     def on_feedback(self, cycle: int, counts) -> None:
         if self.adaptive is not None:
             self.adaptive.on_cycle(cycle, counts)
 
     def pop_prefetch(self, cycle: int) -> Optional[PrefetchRequest]:
-        if not self._queue or cycle < self._release_cycle:
+        if not self._queue or cycle < self._queue[0].release_cycle:
             return None
         self.stats.requests_issued += 1
         return self._queue.popleft()
@@ -136,27 +140,37 @@ class TreeletPrefetcher(Prefetcher):
 
     # -- internals --------------------------------------------------------
 
-    def _enqueue_lines(self, addresses: List[int], region: str = "node") -> None:
+    def _enqueue_lines(
+        self, addresses: List[int], region: str = "node", release: int = 0
+    ) -> None:
         for address in addresses:
             if len(self._queue) >= self.queue_limit:
                 self.stats.requests_dropped += 1
                 continue
-            self._queue.append(PrefetchRequest(address=address, region=region))
+            self._queue.append(
+                PrefetchRequest(
+                    address=address, region=region, release_cycle=release
+                )
+            )
             self.stats.requests_enqueued += 1
 
-    def _enqueue_strict(self, treelet_id: int, lines: List[int]) -> None:
+    def _enqueue_strict(
+        self, treelet_id: int, lines: List[int], release: int
+    ) -> None:
         """Strict Wait: node prefetches enqueue after table loads return,
         and the prefetcher makes no new decisions until then."""
         mapping = self.address_map.mapping_lines(treelet_id)
         if not mapping:
-            self._enqueue_lines(lines)
+            self._enqueue_lines(lines, release=release)
             return
         self._strict_outstanding += len(mapping)
 
         def table_load_done(_cycle: int) -> None:
             self._strict_outstanding -= 1
             if self._strict_outstanding == 0:
-                self._enqueue_lines(lines)
+                # Table loads returning implies the voter gate elapsed
+                # long ago; the original release still applies.
+                self._enqueue_lines(lines, release=release)
 
         for address in mapping:
             if len(self._queue) >= self.queue_limit:
@@ -168,6 +182,7 @@ class TreeletPrefetcher(Prefetcher):
                     address=address,
                     region="mapping",
                     on_complete=table_load_done,
+                    release_cycle=release,
                 )
             )
             self.stats.requests_enqueued += 1

@@ -63,7 +63,9 @@ def voter_latency_for_copies(
         raise ValueError("need at least one first-level table")
     total_threads = warp_size * warp_buffer_size
     copies = min(first_level_copies, warp_buffer_size)
-    return total_threads // copies
+    # Ceiling division: a table with a partial share of the threads
+    # still takes a full cycle for its last (short) counting pass.
+    return -(-total_threads // copies)
 
 
 @dataclass

@@ -89,6 +89,35 @@ class TestWorkloadCaching:
     def test_bvh_cached(self):
         assert get_bvh("WKND", SMOKE) is get_bvh("WKND", SMOKE)
 
+    def test_scene_cached(self):
+        from repro.core import get_scene
+
+        assert get_scene("WKND", SMOKE) is get_scene("WKND", SMOKE)
+
+    def test_scene_built_once_per_scale(self, monkeypatch):
+        """Deriving the BVH, rays, and traces for one (scene, scale)
+        must construct the scene exactly once (regression: get_bvh and
+        get_rays each built their own copy)."""
+        from repro.core import clear_caches
+        from repro.core import pipeline
+
+        calls = []
+        real_build = pipeline.build_scene
+
+        def counting(name, scale):
+            calls.append((name, scale))
+            return real_build(name, scale)
+
+        monkeypatch.setattr(pipeline, "build_scene", counting)
+        # Cold builds only: ignore any globally activated disk cache.
+        monkeypatch.setattr("repro.exec.cache._ACTIVE", None)
+        clear_caches()
+        get_bvh("SHIP", SMOKE)
+        get_rays("SHIP", SMOKE)
+        get_traces("SHIP", SMOKE, "dfs", 512)
+        assert calls == [("SHIP", SMOKE.scene_scale)]
+        clear_caches()
+
     def test_rays_cached(self):
         assert get_rays("WKND", SMOKE) is get_rays("WKND", SMOKE)
 

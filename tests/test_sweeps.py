@@ -45,6 +45,12 @@ class TestRunSweep:
         assert result.gmean_speedup == 0.0
         assert result.best_scene() is None
 
+    def test_empty_sweep_power_ratio_is_neutral(self):
+        """An empty sweep has no power delta: the geomean over zero
+        ratios must report 1.0 (same power), never 0.0 (free)."""
+        result = SweepResult(technique=BASELINE)
+        assert result.gmean_power_ratio == 1.0
+
 
 class TestCompareTechniques:
     def test_labels_preserved(self):

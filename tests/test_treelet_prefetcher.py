@@ -171,6 +171,33 @@ class TestDecisionFlow:
         assert prefetcher.last_prefetched_treelet == 1
         assert requests
 
+    def test_new_decision_does_not_redelay_queued_entries(self, address_map):
+        """The voter-latency gate is carried per entry: a later decision
+        must not push back entries whose gate has already elapsed."""
+        prefetcher = TreeletPrefetcher(
+            address_map, voter=MajorityVoter("full", latency=16)
+        )
+        prefetcher.on_cycle(0, [StubWarp({0: 5})], version=1)  # release 16
+        # A fresh decision lands exactly when the first batch becomes
+        # issueable; its entries release at 32, the old ones at 16.
+        prefetcher.on_cycle(16, [StubWarp({1: 9})], version=2)
+        first_batch = drain(prefetcher, cycle=16)
+        expected = address_map.prefetch_lines(0, 1.0)
+        assert [r.address for r in first_batch] == expected
+        # The second decision's entries stay gated until cycle 32.
+        assert prefetcher.pop_prefetch(16) is None
+        assert prefetcher.pop_prefetch(31) is None
+        assert prefetcher.pop_prefetch(32) is not None
+
+    def test_release_cycle_recorded_on_entries(self, address_map):
+        prefetcher = TreeletPrefetcher(
+            address_map, voter=MajorityVoter("full", latency=8)
+        )
+        prefetcher.on_cycle(4, [StubWarp({0: 5})], version=1)
+        requests = drain(prefetcher, cycle=1000)
+        assert requests
+        assert all(r.release_cycle == 12 for r in requests)
+
     def test_queue_limit_drops(self, decomposition, address_map):
         prefetcher = TreeletPrefetcher(address_map, queue_limit=1)
         prefetcher.on_cycle(0, [StubWarp({0: 5})], version=1)

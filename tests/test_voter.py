@@ -121,6 +121,17 @@ class TestAreaModel:
         assert voter_latency_for_copies(4) == 128
         assert voter_latency_for_copies(16) == 32
 
+    def test_latency_rounds_up_for_non_divisors(self):
+        """Scanning 512 threads over 3 tables takes ceil(512/3) = 171
+        cycles — the last partial pass still costs a full cycle."""
+        assert voter_latency_for_copies(3) == 171
+        assert voter_latency_for_copies(5) == 103
+        # Copies beyond one table per warp-buffer entry don't help.
+        assert voter_latency_for_copies(512) == voter_latency_for_copies(16)
+        # Total scan work is never under-counted.
+        for copies in range(1, 64):
+            assert voter_latency_for_copies(copies) * copies >= 512
+
     def test_invalid_copies_rejected(self):
         with pytest.raises(ValueError):
             voter_latency_for_copies(0)

@@ -265,6 +265,12 @@ stand-ins hundreds of times smaller than LumiBench's and the caches are
 scaled to match (see DESIGN.md) — so each entry compares the paper's
 headline against the measured *shape*.
 
+The recorded numbers are identical whether the harness ran serially or
+parallel (`tools/run_full_eval.py --jobs N` / `REPRO_JOBS`): the
+executor only relocates evaluations across worker processes, and every
+`SimStats` is bit-for-bit equal to the serial path (see
+`docs/execution.md`).
+
 """
 
 

@@ -14,8 +14,14 @@ document per evaluation scene (headline technique, observer attached)
 to ``results/reports/`` — the structured stats + histograms consumed by
 downstream tooling (see ``docs/observability.md``).
 
+``--jobs N`` fans benchmark sweeps across N worker processes
+(``REPRO_JOBS`` for the child pytest runs), and ``--cache-dir`` points
+the persistent artifact cache somewhere other than ``results/cache``
+(the harness caches by default; ``REPRO_CACHE=off`` disables).
+
 Usage:  python tools/run_full_eval.py [--scale smoke|default|full]
-                                      [--reports]
+                                      [--reports] [--jobs N]
+                                      [--cache-dir PATH]
 """
 
 from __future__ import annotations
@@ -90,8 +96,26 @@ def main() -> int:
         "--reports", action="store_true",
         help="also write per-scene run_report.json files",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan benchmark sweeps across N worker processes",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache root (default: results/cache)",
+    )
     args = parser.parse_args()
     env = dict(os.environ, REPRO_SCALE=args.scale)
+    if args.jobs > 1:
+        env["REPRO_JOBS"] = str(args.jobs)
+    # The bench run and the report CLI invocations cache by default and
+    # share one artifact store (REPRO_CACHE=off still disables it
+    # downstream).  The unit-test run deliberately does NOT get the
+    # cache: several tests assert on cold-build behavior.
+    bench_env = dict(env)
+    bench_env["REPRO_CACHE_DIR"] = args.cache_dir or str(
+        ROOT / "results" / "cache"
+    )
 
     if not args.skip_tests:
         code = run(
@@ -101,6 +125,7 @@ def main() -> int:
         if code != 0:
             print("tests failed; aborting", file=sys.stderr)
             return code
+    env = bench_env
     code = run(
         [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only"],
         "bench_output.txt", env,

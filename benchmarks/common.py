@@ -21,8 +21,15 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional
 
-from repro import BASELINE, Technique, run_experiment, scale_from_env, speedup
-from repro.core import ExperimentResult, Scale, format_table, geomean
+from repro import BASELINE, Technique, scale_from_env, speedup
+from repro.api import run as api_run
+from repro.core import (
+    ExperimentResult,
+    Scale,
+    format_table,
+    geomean,
+    prewarm_traces,
+)
 from repro.scenes import ALL_SCENES
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "results"
@@ -83,8 +90,8 @@ def run_pair(
 ):
     """(baseline result, technique result, speedup) for one scene."""
     scale = scale or active_scale()
-    base = run_experiment(scene, BASELINE, scale)
-    cand = run_experiment(scene, technique, scale)
+    base = api_run(scene, BASELINE, scale).experiment
+    cand = api_run(scene, technique, scale).experiment
     return base, cand, speedup(base, cand)
 
 
@@ -103,8 +110,12 @@ def sweep(
         from repro.exec import prewarm_results
 
         prewarm_results([technique], scenes, scale, jobs=jobs)
+    else:
+        # Serial path: batch all missing trace generation through the
+        # vectorized forest driver before simulating.
+        prewarm_traces([(scene, technique) for scene in scenes], scale)
     return {
-        scene: run_experiment(scene, technique, scale)
+        scene: api_run(scene, technique, scale).experiment
         for scene in scenes
     }
 
@@ -139,7 +150,7 @@ def observed_run(
 
     scale = scale or active_scale()
     observer = Observer()
-    result = run_experiment(scene, technique, scale, observer=observer)
+    result = api_run(scene, technique, scale, observer=observer).experiment
     return result, observer
 
 

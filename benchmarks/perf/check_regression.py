@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Gate BENCH_<phase>.json results against committed baselines.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py \
+        [--baseline-dir benchmarks/perf/baselines/smoke] \
+        [--current-dir .] [--threshold 2.0] [--min-trace-speedup X]
+
+For every ``BENCH_<phase>.json`` present in the baseline directory, the
+matching current file must exist and every ``metrics.<name>.seconds``
+must be within ``threshold`` times the baseline (default 2x — wide
+enough to absorb machine-to-machine variance, tight enough to catch a
+vectorized kernel silently falling back to scalar).  With
+``--min-trace-speedup`` the trace phase's ``derived.speedup`` (scalar
+time / vectorized time) must also clear the floor.
+
+Exit status: 0 clean, 1 regression, 2 missing/invalid files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def load(path: Path):
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    if document.get("schema") != "repro.bench/1":
+        print(f"{path}: unexpected schema {document.get('schema')!r}",
+              file=sys.stderr)
+        return None
+    return document
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(ROOT / "benchmarks" / "perf" / "baselines" / "smoke"),
+    )
+    parser.add_argument("--current-dir", default=str(ROOT))
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="fail when current seconds exceed baseline * threshold",
+    )
+    parser.add_argument(
+        "--min-trace-speedup", type=float, default=None,
+        help="fail when the trace phase's vectorized-over-scalar "
+             "speedup drops below this floor",
+    )
+    args = parser.parse_args()
+
+    baseline_dir = Path(args.baseline_dir)
+    current_dir = Path(args.current_dir)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines in {baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for baseline_path in baselines:
+        baseline = load(baseline_path)
+        current_path = current_dir / baseline_path.name
+        current = load(current_path) if current_path.exists() else None
+        if baseline is None or current is None:
+            if current is None and not current_path.exists():
+                print(f"missing current result {current_path}",
+                      file=sys.stderr)
+            return 2
+        for name, spec in sorted(baseline["metrics"].items()):
+            base_seconds = spec["seconds"]
+            cur = current["metrics"].get(name)
+            if cur is None:
+                print(f"{current_path.name}: metric {name!r} disappeared",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            ratio = cur["seconds"] / base_seconds if base_seconds else 1.0
+            verdict = "ok"
+            if ratio > args.threshold:
+                verdict = "REGRESSION"
+                failures += 1
+            print(f"{baseline_path.name:>22} {name:<20} "
+                  f"{base_seconds:.4f}s -> {cur['seconds']:.4f}s "
+                  f"({ratio:.2f}x)  {verdict}")
+        if (
+            args.min_trace_speedup is not None
+            and baseline["phase"] == "trace"
+        ):
+            speedup = current["derived"].get("speedup", 0.0)
+            verdict = "ok"
+            if speedup < args.min_trace_speedup:
+                verdict = "REGRESSION"
+                failures += 1
+            print(f"{baseline_path.name:>22} {'derived.speedup':<20} "
+                  f"{speedup:.2f}x (floor {args.min_trace_speedup:.2f}x)  "
+                  f"{verdict}")
+
+    if failures:
+        print(f"{failures} perf regression(s)", file=sys.stderr)
+        return 1
+    print("perf within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

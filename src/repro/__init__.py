@@ -2,7 +2,9 @@
 
 Public API tour:
 
-* :mod:`repro.core` — `run_experiment`, `Technique`, configs, scales.
+* :mod:`repro.api` — the facade: `run`/`sweep`/`compare`,
+  `RunRequest`/`RunResult`, `parse_technique`.  Start here.
+* :mod:`repro.core` — `Technique`, configs, scales, the pipeline.
 * :mod:`repro.scenes` — the 16 procedural evaluation scenes + ray gen.
 * :mod:`repro.bvh` — SAH builder, 6-wide BVH, layouts, stats.
 * :mod:`repro.treelet` — treelet formation, repacking, mapping table.
@@ -29,6 +31,14 @@ from .core import (
     scale_from_env,
     speedup,
 )
+from .api import (
+    RunRequest,
+    RunResult,
+    compare,
+    parse_technique,
+    run,
+    sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -37,15 +47,22 @@ __all__ = [
     "DEFAULT",
     "ExperimentResult",
     "FULL",
+    "PAPER",
+    "RunRequest",
+    "RunResult",
     "SMOKE",
     "Scale",
     "TREELET_PREFETCH",
     "TREELET_TRAVERSAL_ONLY",
     "Technique",
     "__version__",
+    "compare",
     "default_config",
     "paper_config",
+    "parse_technique",
+    "run",
     "run_experiment",
     "scale_from_env",
     "speedup",
+    "sweep",
 ]

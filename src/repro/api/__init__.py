@@ -1,0 +1,40 @@
+"""repro.api — the unified public facade.
+
+Entry points::
+
+    from repro.api import run, sweep, compare, parse_technique
+
+    result = run("BUNNY", "treelet-prefetch", "default")
+    print(result.cycles, result.stats.l1_hit_rate)
+
+    outcome = sweep("treelet-prefetch,treelet_bytes=8192",
+                    ["WKND", "SHIP"], "smoke", jobs=2)
+    print(outcome.gmean_speedup)
+
+Techniques are accepted as :class:`~repro.core.Technique` objects or
+spec strings (see :func:`parse_technique`); scales as
+:class:`~repro.core.Scale` objects or names.  The legacy entry points
+(``core.pipeline.run_experiment``, ``core.sweeps.run_sweep``,
+``exec.run_sweep_parallel``) remain as deprecation shims that forward
+here — results are identical.  See ``docs/api.md``.
+"""
+
+from .facade import RunRequest, RunResult, compare, run, sweep
+from .techniques import (
+    TECHNIQUE_PRESETS,
+    describe_techniques,
+    parse_technique,
+    technique_fields,
+)
+
+__all__ = [
+    "RunRequest",
+    "RunResult",
+    "TECHNIQUE_PRESETS",
+    "compare",
+    "describe_techniques",
+    "parse_technique",
+    "run",
+    "sweep",
+    "technique_fields",
+]

@@ -1,0 +1,280 @@
+"""The ``repro.api`` facade: run / sweep / compare, with typed requests.
+
+One front door for evaluating techniques, replacing the scattered entry
+points that each grew their own keyword surface
+(``core.pipeline.run_experiment``, ``core.sweeps.run_sweep``,
+``exec.run_sweep_parallel`` — all kept as thin deprecation shims that
+forward here).  The facade accepts techniques as objects **or** spec
+strings (:func:`repro.api.parse_technique`) and scales as objects or
+names, and it owns the fast paths: serial sweeps batch all missing
+trace generation through the vectorized forest driver
+(:func:`repro.core.pipeline.prewarm_traces`), parallel sweeps fan
+evaluations across the :mod:`repro.exec` worker pool.  Results are
+bit-identical whichever path runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..core.pipeline import (
+    BASELINE,
+    DEFAULT,
+    FULL,
+    PAPER,
+    SMOKE,
+    ExperimentResult,
+    Scale,
+    Technique,
+    _run_experiment,
+    prewarm_traces,
+)
+from ..core.sweeps import SceneOutcome, SweepResult
+from .techniques import parse_technique
+
+_SCALES_BY_NAME: Dict[str, Scale] = {
+    "smoke": SMOKE,
+    "default": DEFAULT,
+    "full": FULL,
+    "paper": PAPER,
+}
+
+TechniqueLike = Union[Technique, str]
+ScaleLike = Union[Scale, str]
+
+
+def _coerce_scale(scale: ScaleLike) -> Scale:
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return _SCALES_BY_NAME[scale.strip().lower()]
+    except (AttributeError, KeyError):
+        known = ", ".join(_SCALES_BY_NAME)
+        raise ValueError(f"unknown scale {scale!r} (known: {known})")
+
+
+def _coerce_technique(technique: TechniqueLike) -> Technique:
+    return parse_technique(technique)
+
+
+def _default_scenes() -> List[str]:
+    from ..scenes import ALL_SCENES
+
+    return list(ALL_SCENES)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Everything one evaluation needs, as data.
+
+    ``technique`` and ``scale`` accept spec strings (resolved with
+    :func:`parse_technique` / by scale name) or the objects themselves.
+    ``cache=False`` bypasses the in-process result memoizer;
+    ``trace_backend`` forces "vectorized" or "scalar" trace generation
+    for this run (they are bit-identical; None uses the process
+    default).
+    """
+
+    scene: str
+    technique: TechniqueLike = BASELINE
+    scale: ScaleLike = DEFAULT
+    gpu_config: Optional[object] = None
+    cache: bool = True
+    observer: Optional[object] = None
+    trace_backend: Optional[str] = None
+
+
+@dataclass
+class RunResult:
+    """One evaluation, resolved: the request plus everything it produced."""
+
+    scene: str
+    technique: Technique
+    scale: Scale
+    experiment: ExperimentResult = field(repr=False)
+
+    @property
+    def stats(self):
+        """The run's :class:`~repro.gpusim.SimStats`."""
+        return self.experiment.stats
+
+    @property
+    def cycles(self) -> int:
+        return self.experiment.cycles
+
+    @property
+    def power(self):
+        return self.experiment.power
+
+    @property
+    def traversal(self):
+        return self.experiment.traversal
+
+    @property
+    def tree(self):
+        return self.experiment.tree
+
+    @property
+    def treelet_count(self) -> int:
+        return self.experiment.treelet_count
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Cycle-ratio speedup of this run over ``baseline``."""
+        from ..core.pipeline import speedup as _speedup
+
+        return _speedup(baseline.experiment, self.experiment)
+
+
+def run(
+    scene: Union[str, RunRequest],
+    technique: TechniqueLike = BASELINE,
+    scale: ScaleLike = DEFAULT,
+    *,
+    gpu_config=None,
+    cache: bool = True,
+    observer=None,
+    trace_backend: Optional[str] = None,
+) -> RunResult:
+    """Evaluate one technique on one scene; the front door for single runs.
+
+    Accepts either positional ``(scene, technique, scale)`` arguments or
+    a single :class:`RunRequest`.  Returns a :class:`RunResult` whose
+    ``stats`` are bit-identical to the deprecated
+    ``core.pipeline.run_experiment`` path.
+    """
+    if isinstance(scene, RunRequest):
+        request = scene
+    else:
+        request = RunRequest(
+            scene=scene,
+            technique=technique,
+            scale=scale,
+            gpu_config=gpu_config,
+            cache=cache,
+            observer=observer,
+            trace_backend=trace_backend,
+        )
+    resolved_technique = _coerce_technique(request.technique)
+    resolved_scale = _coerce_scale(request.scale)
+    if request.trace_backend is not None:
+        # Generate (or reuse) the traces with the requested backend
+        # before the experiment asks for them.
+        from ..core.pipeline import get_traces
+
+        get_traces(
+            request.scene,
+            resolved_scale,
+            resolved_technique.traversal,
+            resolved_technique.treelet_bytes,
+            resolved_technique.deferred_order,
+            resolved_technique.formation,
+            backend=request.trace_backend,
+        )
+    experiment = _run_experiment(
+        request.scene,
+        resolved_technique,
+        resolved_scale,
+        gpu_config=request.gpu_config,
+        use_cache=request.cache,
+        observer=request.observer,
+    )
+    return RunResult(
+        scene=request.scene,
+        technique=resolved_technique,
+        scale=resolved_scale,
+        experiment=experiment,
+    )
+
+
+def sweep(
+    technique: TechniqueLike,
+    scenes: Optional[Iterable[str]] = None,
+    scale: ScaleLike = DEFAULT,
+    *,
+    baseline: TechniqueLike = BASELINE,
+    jobs: int = 1,
+    progress=None,
+) -> SweepResult:
+    """Evaluate ``technique`` against ``baseline`` on every scene.
+
+    ``scenes=None`` sweeps the full 16-scene library.  ``jobs > 1``
+    fans the evaluations across worker processes (:mod:`repro.exec`);
+    serial sweeps batch all missing trace generation through the
+    vectorized forest driver first.  Per-scene ``SimStats`` are
+    bit-identical either way.  ``progress`` is the executor's
+    ``(done, total, job, source)`` callback (parallel path only).
+    """
+    resolved = _coerce_technique(technique)
+    base = _coerce_technique(baseline)
+    resolved_scale = _coerce_scale(scale)
+    scene_list = list(scenes) if scenes is not None else _default_scenes()
+    if jobs > 1 and scene_list:
+        from ..exec.executor import prewarm_results
+
+        prewarm_results(
+            [base, resolved], scene_list, resolved_scale,
+            jobs=jobs, progress=progress,
+        )
+    elif scene_list:
+        prewarm_traces(
+            [
+                (scene, candidate)
+                for scene in scene_list
+                for candidate in (base, resolved)
+            ],
+            resolved_scale,
+        )
+    result = SweepResult(technique=resolved)
+    for scene in scene_list:
+        result.outcomes[scene] = SceneOutcome(
+            scene=scene,
+            baseline=_run_experiment(scene, base, resolved_scale),
+            candidate=_run_experiment(scene, resolved, resolved_scale),
+        )
+    return result
+
+
+def compare(
+    techniques: Dict[str, TechniqueLike],
+    scenes: Optional[Iterable[str]] = None,
+    scale: ScaleLike = DEFAULT,
+    *,
+    baseline: TechniqueLike = BASELINE,
+    jobs: int = 1,
+    progress=None,
+) -> Dict[str, SweepResult]:
+    """Sweep several labeled techniques over the same scene set.
+
+    The shared baseline is evaluated once.  ``jobs > 1`` fans every
+    (technique, scene) pair across one worker pool.
+    """
+    resolved = {
+        label: _coerce_technique(technique)
+        for label, technique in techniques.items()
+    }
+    base = _coerce_technique(baseline)
+    resolved_scale = _coerce_scale(scale)
+    scene_list = list(scenes) if scenes is not None else _default_scenes()
+    if jobs > 1 and scene_list and resolved:
+        from ..exec.executor import prewarm_results
+
+        prewarm_results(
+            [base, *resolved.values()], scene_list, resolved_scale,
+            jobs=jobs, progress=progress,
+        )
+    elif scene_list and resolved:
+        prewarm_traces(
+            [
+                (scene, candidate)
+                for scene in scene_list
+                for candidate in (base, *resolved.values())
+            ],
+            resolved_scale,
+        )
+    return {
+        label: sweep(
+            technique, scene_list, resolved_scale, baseline=base
+        )
+        for label, technique in resolved.items()
+    }

@@ -1,0 +1,139 @@
+"""Technique registry: one grammar for naming points in the design space.
+
+Everything that accepts a technique from the outside world — the CLI,
+sweep helpers, ``tools/run_full_eval.py`` — funnels through
+:func:`parse_technique`, so there is exactly one string syntax:
+
+* a **preset** name (``baseline``, ``treelet-prefetch``, ...), or
+* ``[preset,]key=value[,key=value...]`` — start from a preset (default
+  ``baseline``) and override individual :class:`~repro.core.Technique`
+  fields, e.g. ``treelet-prefetch,treelet_bytes=8192,order=lifo`` or
+  ``traversal=treelet,prefetch=treelet,heuristic=popularity:0.6``.
+
+``repro techniques`` lists the presets and the recognized keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from ..core.pipeline import (
+    BASELINE,
+    TREELET_PREFETCH,
+    TREELET_TRAVERSAL_ONLY,
+    Technique,
+)
+from ..prefetch import PrefetchHeuristic
+
+#: Named starting points.  Keys are what ``--technique`` accepts.
+TECHNIQUE_PRESETS: Dict[str, Technique] = {
+    "baseline": BASELINE,
+    "treelet-prefetch": TREELET_PREFETCH,
+    "treelet-traversal": TREELET_TRAVERSAL_ONLY,
+}
+
+_PRESET_NOTES: Dict[str, str] = {
+    "baseline": "DFS traversal, stock layout, no prefetch (the paper's RT unit)",
+    "treelet-prefetch": "headline config: two-stack + prefetcher + PMR (Fig. 7)",
+    "treelet-traversal": "treelet traversal alone, no prefetcher (Fig. 9)",
+}
+
+#: Short spellings for the most-used Technique fields.
+_FIELD_ALIASES: Dict[str, str] = {
+    "order": "deferred_order",
+    "bytes": "treelet_bytes",
+    "stride": "layout_stride",
+    "voter": "voter_mode",
+    "mapping": "mapping_mode",
+}
+
+_INT_FIELDS = ("layout_stride", "treelet_bytes", "voter_latency")
+_BOOL_FIELDS = ("adaptive",)
+_NONE_FIELDS = ("prefetch", "mapping_mode")  # "none" means literal None
+_STR_FIELDS = (
+    "traversal",
+    "deferred_order",
+    "layout",
+    "scheduler",
+    "formation",
+    "voter_mode",
+)
+
+
+def _parse_heuristic(text: str) -> PrefetchHeuristic:
+    """``always`` | ``partial`` | ``popularity[:threshold]``."""
+    name, _, arg = text.partition(":")
+    if name == "popularity":
+        return PrefetchHeuristic(
+            "popularity", threshold=float(arg) if arg else 0.5
+        )
+    if arg:
+        raise ValueError(f"heuristic {name!r} takes no argument")
+    return PrefetchHeuristic(name)
+
+
+def parse_technique(spec: Union[str, Technique]) -> Technique:
+    """Resolve a technique spec string (or pass a Technique through).
+
+    Raises ``ValueError`` with the offending token on any unknown
+    preset, key, or value — the same validation errors
+    :class:`~repro.core.Technique` itself raises for bad field values.
+    """
+    if isinstance(spec, Technique):
+        return spec
+    text = spec.strip()
+    if not text:
+        raise ValueError("empty technique spec")
+    tokens = [token.strip() for token in text.split(",") if token.strip()]
+    base = BASELINE
+    if tokens and "=" not in tokens[0]:
+        name = tokens.pop(0)
+        if name not in TECHNIQUE_PRESETS:
+            known = ", ".join(sorted(TECHNIQUE_PRESETS))
+            raise ValueError(
+                f"unknown technique preset {name!r} (known: {known})"
+            )
+        base = TECHNIQUE_PRESETS[name]
+    overrides: Dict[str, object] = {}
+    for token in tokens:
+        key, sep, value = token.partition("=")
+        if not sep or not value:
+            raise ValueError(f"expected key=value, got {token!r}")
+        key = _FIELD_ALIASES.get(key.strip(), key.strip())
+        value = value.strip()
+        if key == "heuristic":
+            overrides[key] = _parse_heuristic(value)
+        elif key in _INT_FIELDS:
+            overrides[key] = int(value)
+        elif key in _BOOL_FIELDS:
+            if value.lower() not in ("true", "false", "1", "0"):
+                raise ValueError(f"expected a boolean for {key}, got {value!r}")
+            overrides[key] = value.lower() in ("true", "1")
+        elif key in _NONE_FIELDS:
+            overrides[key] = None if value.lower() == "none" else value
+        elif key in _STR_FIELDS:
+            overrides[key] = value
+        else:
+            raise ValueError(f"unknown technique field {key!r}")
+    if not overrides:
+        return base
+    from dataclasses import replace
+
+    return replace(base, **overrides)
+
+
+def describe_techniques() -> List[Tuple[str, str, str]]:
+    """``(preset, label, note)`` rows for every registered preset."""
+    return [
+        (name, technique.label(), _PRESET_NOTES.get(name, ""))
+        for name, technique in TECHNIQUE_PRESETS.items()
+    ]
+
+
+def technique_fields() -> List[str]:
+    """The override keys :func:`parse_technique` understands."""
+    keys = sorted(
+        (*_STR_FIELDS, *_INT_FIELDS, *_BOOL_FIELDS, *_NONE_FIELDS, "heuristic")
+    )
+    aliases = [f"{alias} (={target})" for alias, target in _FIELD_ALIASES.items()]
+    return keys + sorted(aliases)

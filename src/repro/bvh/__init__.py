@@ -16,10 +16,12 @@ from .node import (
     FlatBVH,
     FlatNode,
 )
+from .soa import BVHArrays, build_bvh_arrays, bvh_arrays
 from .stats import TreeStats, compute_tree_stats, nodes_per_level, sah_cost
 from .wide import build_wide_bvh, collapse_to_wide
 
 __all__ = [
+    "BVHArrays",
     "BVH_BASE_ADDRESS",
     "BinaryNode",
     "BuildConfig",
@@ -34,7 +36,9 @@ __all__ = [
     "TRAVERSAL_COST",
     "TreeStats",
     "build_binary_bvh",
+    "build_bvh_arrays",
     "build_wide_bvh",
+    "bvh_arrays",
     "collapse_to_wide",
     "compute_tree_stats",
     "dfs_layout",

@@ -88,6 +88,16 @@ class FlatBVH:
     def __len__(self) -> int:
         return len(self.nodes)
 
+    def __getstate__(self) -> dict:
+        # The SoA view (repro.bvh.soa) and the packet-traversal statics
+        # (repro.traversal.vectorized) are derived data memoized on the
+        # instance; shipping them through pickle would bloat the artifact
+        # cache and worker hand-offs for no benefit.
+        state = dict(self.__dict__)
+        state.pop("_soa_arrays", None)
+        state.pop("_packet_statics", None)
+        return state
+
     def node(self, node_id: int) -> FlatNode:
         return self.nodes[node_id]
 

@@ -1,0 +1,102 @@
+"""Structure-of-arrays (SoA) view over a :class:`FlatBVH`.
+
+The vectorized traversal backend (:mod:`repro.traversal.vectorized`)
+tests whole ray packets against gathered child bounds and leaf
+primitives in single numpy kernel calls.  That needs the tree's bounds,
+topology, and triangle data packed into flat arrays once per BVH
+instead of being re-read attribute-by-attribute per test.
+
+The arrays are derived data: they are built lazily on first use, cached
+on the BVH object, and deliberately excluded from pickling (the
+artifact cache and the process-pool executor ship bare trees; each
+consumer rebuilds the view in milliseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import TriangleArrays, triangles_to_arrays
+from .node import FlatBVH
+
+#: Attribute name used to memoize the SoA view on a FlatBVH instance.
+_SOA_ATTR = "_soa_arrays"
+
+
+@dataclass(frozen=True)
+class BVHArrays:
+    """Packed per-node and per-triangle arrays for one BVH.
+
+    Node arrays are indexed by ``node_id``; child and primitive ids are
+    flattened CSR-style (``ids[offsets[n]:offsets[n] + counts[n]]``).
+    Triangle arrays are indexed by the position scalar traversal uses
+    for ``bvh.triangles[prim_id]``.
+    """
+
+    node_lo: "object"  # np.ndarray [num_nodes, 3] float64
+    node_hi: "object"  # np.ndarray [num_nodes, 3] float64
+    is_leaf: "object"  # np.ndarray [num_nodes] bool
+    child_offsets: "object"  # np.ndarray [num_nodes] int64
+    child_counts: "object"  # np.ndarray [num_nodes] int64
+    child_ids: "object"  # np.ndarray [total_children] int64
+    prim_offsets: "object"  # np.ndarray [num_nodes] int64
+    prim_counts: "object"  # np.ndarray [num_nodes] int64
+    prim_ids: "object"  # np.ndarray [total_leaf_prims] int64
+    triangles: TriangleArrays
+
+    @property
+    def node_count(self) -> int:
+        return self.node_lo.shape[0]
+
+
+def build_bvh_arrays(bvh: FlatBVH) -> BVHArrays:
+    """Pack ``bvh`` into a fresh :class:`BVHArrays` (no caching)."""
+    import numpy as np
+
+    n = len(bvh.nodes)
+    node_lo = np.empty((n, 3), dtype=np.float64)
+    node_hi = np.empty((n, 3), dtype=np.float64)
+    is_leaf = np.zeros(n, dtype=bool)
+    child_offsets = np.zeros(n, dtype=np.int64)
+    child_counts = np.zeros(n, dtype=np.int64)
+    prim_offsets = np.zeros(n, dtype=np.int64)
+    prim_counts = np.zeros(n, dtype=np.int64)
+    child_ids: list = []
+    prim_ids: list = []
+    for node in bvh.nodes:
+        i = node.node_id
+        node_lo[i] = node.bounds.lo
+        node_hi[i] = node.bounds.hi
+        is_leaf[i] = node.is_leaf
+        child_offsets[i] = len(child_ids)
+        child_counts[i] = len(node.child_ids)
+        child_ids.extend(node.child_ids)
+        prim_offsets[i] = len(prim_ids)
+        prim_counts[i] = len(node.primitive_ids)
+        prim_ids.extend(node.primitive_ids)
+    return BVHArrays(
+        node_lo=node_lo,
+        node_hi=node_hi,
+        is_leaf=is_leaf,
+        child_offsets=child_offsets,
+        child_counts=child_counts,
+        child_ids=np.asarray(child_ids, dtype=np.int64),
+        prim_offsets=prim_offsets,
+        prim_counts=prim_counts,
+        prim_ids=np.asarray(prim_ids, dtype=np.int64),
+        triangles=triangles_to_arrays(bvh.triangles),
+    )
+
+
+def bvh_arrays(bvh: FlatBVH) -> BVHArrays:
+    """The (memoized) SoA view of ``bvh``.
+
+    The view is cached on the BVH object itself, so repeat traversals —
+    every technique of a sweep shares one tree — pay the packing cost
+    once.  :meth:`FlatBVH.__getstate__` drops the cache before pickling.
+    """
+    cached = getattr(bvh, _SOA_ATTR, None)
+    if cached is None:
+        cached = build_bvh_arrays(bvh)
+        setattr(bvh, _SOA_ATTR, cached)
+    return cached

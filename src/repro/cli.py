@@ -3,6 +3,8 @@
 Commands:
 
 * ``scenes`` — list the evaluation scenes and their triangle budgets.
+* ``techniques`` — list technique presets and the ``--technique`` spec
+  grammar.
 * ``stats`` — BVH/treelet statistics for a scene (Table 2 row).
 * ``run`` — evaluate one technique on one scene vs the baseline.
 * ``sweep`` — evaluate one technique across scenes with gmean speedup.
@@ -18,9 +20,13 @@ demand-latency and prefetch-timeliness histograms).  ``sweep`` takes
 ``--jobs N`` to fan evaluations across worker processes, and
 ``run``/``sweep``/``trace`` take ``--cache-dir`` to persist built
 BVHs/rays/traces between invocations (``REPRO_CACHE_DIR`` works too;
-see ``docs/execution.md``).
+see ``docs/execution.md``).  ``run``/``sweep``/``trace`` take
+``--trace-backend {vectorized,scalar}`` to pick the trace-generation
+kernels (bit-identical results; see ``docs/performance.md``).
 
-All heavy options map one-to-one onto :class:`repro.core.Technique`.
+All heavy options map one-to-one onto :class:`repro.core.Technique`;
+``--technique SPEC`` sets them all at once from a spec string.  The
+command implementations go through :mod:`repro.api`.
 """
 
 from __future__ import annotations
@@ -37,10 +43,13 @@ from . import (
     PAPER,
     SMOKE,
     Technique,
-    run_experiment,
     speedup,
 )
+from .api import describe_techniques, parse_technique, technique_fields
+from .api.facade import run as api_run
+from .api.facade import sweep as api_sweep
 from .bvh import compute_tree_stats
+from .core import TRACE_BACKENDS
 from .core import banner, format_series, format_table, geomean
 from .core.pipeline import get_bvh, get_decomposition
 from .prefetch import PrefetchHeuristic
@@ -51,6 +60,13 @@ _SCALES = {"smoke": SMOKE, "default": DEFAULT, "full": FULL, "paper": PAPER}
 
 
 def _add_technique_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--technique", metavar="SPEC", default=None,
+        help="technique spec string, e.g. "
+             "'treelet-prefetch,bytes=8192,order=lifo' "
+             "(see `repro techniques`); supersedes the individual "
+             "technique flags below",
+    )
     parser.add_argument("--traversal", choices=["dfs", "treelet"],
                         default="treelet")
     parser.add_argument("--layout", choices=["dfs", "treelet"],
@@ -101,7 +117,30 @@ def _activate_cache(args: argparse.Namespace):
     return set_artifact_cache(path) if path else None
 
 
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-backend", choices=list(TRACE_BACKENDS), default=None,
+        help="trace-generation kernels for this invocation "
+             "(bit-identical results; default: $REPRO_TRACE_BACKEND "
+             "or vectorized)",
+    )
+
+
+def _activate_backend(args: argparse.Namespace) -> None:
+    backend = getattr(args, "trace_backend", None)
+    if backend:
+        from .core import set_trace_backend
+
+        set_trace_backend(backend)
+
+
 def _technique_from_args(args: argparse.Namespace) -> Technique:
+    if getattr(args, "technique", None):
+        try:
+            return parse_technique(args.technique)
+        except ValueError as exc:
+            print(f"error: --technique: {exc}", file=sys.stderr)
+            raise SystemExit(2)
     heuristic = PrefetchHeuristic(
         args.heuristic,
         threshold=args.threshold if args.heuristic == "popularity" else 0.0,
@@ -130,6 +169,15 @@ def _cmd_scenes(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_techniques(_args: argparse.Namespace) -> int:
+    rows = [list(entry) for entry in describe_techniques()]
+    print(format_table(["preset", "label", "description"], rows))
+    print()
+    print("Spec grammar: '<preset>[,key=value,...]' or 'key=value,...'")
+    print("Fields: " + ", ".join(technique_fields()))
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     bvh = get_bvh(args.scene, scale)
@@ -152,7 +200,7 @@ def _observed_run(scene: str, technique: Technique, scale):
     from .obs import Observer
 
     observer = Observer()
-    result = run_experiment(scene, technique, scale, observer=observer)
+    result = api_run(scene, technique, scale, observer=observer).experiment
     return result, observer
 
 
@@ -173,13 +221,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     technique = _technique_from_args(args)
     _activate_cache(args)
-    base = run_experiment(args.scene, BASELINE, scale)
+    _activate_backend(args)
+    base = api_run(args.scene, BASELINE, scale).experiment
     if args.report:
         result, observer = _observed_run(args.scene, technique, scale)
         _write_report(args.report, args.scene, technique, scale,
                       result, observer)
     else:
-        result = run_experiment(args.scene, technique, scale)
+        result = api_run(args.scene, technique, scale).experiment
     if args.json:
         from .obs import simstats_to_dict
 
@@ -216,21 +265,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     technique = _technique_from_args(args)
     scenes = args.scenes or list(ALL_SCENES)
     _activate_cache(args)
-    if args.jobs > 1:
-        # Fan every (scene, technique) evaluation across workers; the
-        # loop below then assembles from the seeded result memoizer.
-        # (--report runs re-simulate with an observer attached.)
-        from .exec import prewarm_results
-
-        prewarm_results(
-            [BASELINE, technique], scenes, scale, jobs=args.jobs
-        )
+    _activate_backend(args)
+    # The facade owns the fast paths: --jobs > 1 fans evaluations
+    # across workers, serial sweeps batch trace generation through the
+    # vectorized forest driver.  (--report runs re-simulate with an
+    # observer attached.)
+    outcome = api_sweep(technique, scenes, scale, jobs=args.jobs)
     rows = []
     gains = []
     reports = {}
     payload = {}
     for scene in scenes:
-        base = run_experiment(scene, BASELINE, scale)
+        base = outcome.outcomes[scene].baseline
         if args.report:
             from .obs import build_run_report
 
@@ -243,7 +289,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 observer=observer,
             )
         else:
-            result = run_experiment(scene, technique, scale)
+            result = outcome.outcomes[scene].candidate
         gain = speedup(base, result)
         gains.append(gain)
         rows.append([scene, base.cycles, result.cycles, round(gain, 3)])
@@ -290,8 +336,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     technique = _technique_from_args(args)
     _activate_cache(args)
+    _activate_backend(args)
     observer = Observer(max_events=args.max_events)
-    result = run_experiment(args.scene, technique, scale, observer=observer)
+    result = api_run(
+        args.scene, technique, scale, observer=observer
+    ).experiment
     path = write_chrome_trace(args.out, observer.bus, observer.metrics)
     summary = observer.trace_summary()
     if args.report:
@@ -384,6 +433,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("scenes", help="list evaluation scenes")
 
+    sub.add_parser(
+        "techniques",
+        help="list technique presets and the --technique spec grammar",
+    )
+
     stats = sub.add_parser("stats", help="BVH/treelet stats for a scene")
     stats.add_argument("scene", choices=list(ALL_SCENES))
     stats.add_argument("--scale", choices=list(_SCALES), default="default")
@@ -398,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a structured run_report.json here")
     _add_technique_args(run)
     _add_cache_args(run)
+    _add_backend_args(run)
 
     sweep = sub.add_parser("sweep", help="one technique across scenes")
     sweep.add_argument("--scenes", nargs="*", choices=list(ALL_SCENES))
@@ -411,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(results identical to --jobs 1)")
     _add_technique_args(sweep)
     _add_cache_args(sweep)
+    _add_backend_args(sweep)
 
     trace = sub.add_parser(
         "trace", help="trace one run; export Perfetto/Chrome JSON"
@@ -425,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retained-event cap (excess is dropped)")
     _add_technique_args(trace)
     _add_cache_args(trace)
+    _add_backend_args(trace)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent artifact cache"
@@ -451,6 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "scenes": _cmd_scenes,
+    "techniques": _cmd_techniques,
     "stats": _cmd_stats,
     "run": _cmd_run,
     "sweep": _cmd_sweep,

@@ -47,7 +47,10 @@ from ..traversal import (
     TraversalSummary,
     summarize_traces,
     traverse_dfs_batch,
+    traverse_dfs_packet,
+    traverse_forest_jobs,
     traverse_two_stack_batch,
+    traverse_two_stack_packet,
 )
 from ..treelet import (
     DEFAULT_TREELET_BYTES,
@@ -192,6 +195,33 @@ def scale_from_env(default: Scale = DEFAULT) -> Scale:
         "full": FULL,
         "paper": PAPER,
     }.get(name, default)
+
+
+#: Trace-generation backends.  Both emit bit-identical ``RayTrace``
+#: lists (same visit order, test counts, and hits); "vectorized" is the
+#: numpy packet driver, "scalar" the pure-Python reference it is
+#: verified against.
+TRACE_BACKENDS = ("vectorized", "scalar")
+
+_TRACE_BACKEND_OVERRIDE: Optional[str] = None
+
+
+def set_trace_backend(backend: Optional[str]) -> None:
+    """Force a trace backend for this process (None reverts to the
+    ``REPRO_TRACE_BACKEND`` environment default)."""
+    global _TRACE_BACKEND_OVERRIDE
+    if backend is not None and backend not in TRACE_BACKENDS:
+        raise ValueError(f"unknown trace backend {backend!r}")
+    _TRACE_BACKEND_OVERRIDE = backend
+
+
+def trace_backend_from_env() -> str:
+    """The active trace backend: :func:`set_trace_backend` override,
+    else ``REPRO_TRACE_BACKEND``, else "vectorized"."""
+    if _TRACE_BACKEND_OVERRIDE is not None:
+        return _TRACE_BACKEND_OVERRIDE
+    name = os.environ.get("REPRO_TRACE_BACKEND", "").strip().lower()
+    return name if name in TRACE_BACKENDS else "vectorized"
 
 
 @dataclass
@@ -373,16 +403,18 @@ def get_decomposition(
     return _DECOMP_CACHE[key]
 
 
-def get_traces(
+def _trace_key(
     scene_name: str,
     scale: Scale,
     traversal: str,
     treelet_bytes: int,
-    deferred_order: str = "nearest",
-    formation: str = "bfs",
-) -> List[RayTrace]:
-    """Functional traversal traces (the timing model's input)."""
-    key = (
+    deferred_order: str,
+    formation: str,
+) -> tuple:
+    """Memoizer key for one trace set.  Deliberately backend-agnostic:
+    both backends produce bit-identical traces, so a cache entry is
+    valid whichever backend built it."""
+    return (
         scene_name,
         scale.scene_scale,
         scale.width,
@@ -393,37 +425,160 @@ def get_traces(
         deferred_order if traversal == "treelet" else "",
         formation if traversal == "treelet" else "",
     )
+
+
+def _trace_fingerprint(
+    cache,
+    scene_name: str,
+    scale: Scale,
+    traversal: str,
+    treelet_bytes: int,
+    deferred_order: str,
+    formation: str,
+) -> str:
+    """On-disk fingerprint for one trace set (backend-agnostic too)."""
+    components = _cache_components(scene_name, scale)
+    components.update(_raygen_components(scale))
+    components["traversal"] = traversal
+    if traversal == "treelet":
+        components["treelet_bytes"] = treelet_bytes
+        components["deferred_order"] = deferred_order
+        components["formation"] = formation
+    return cache.fingerprint("traces", components)
+
+
+def get_traces(
+    scene_name: str,
+    scale: Scale,
+    traversal: str,
+    treelet_bytes: int,
+    deferred_order: str = "nearest",
+    formation: str = "bfs",
+    backend: Optional[str] = None,
+) -> List[RayTrace]:
+    """Functional traversal traces (the timing model's input).
+
+    ``backend`` selects how the traces are generated — "vectorized"
+    (numpy packet driver, the default via ``REPRO_TRACE_BACKEND``) or
+    "scalar" (the pure-Python oracle).  The two are bit-identical, so
+    neither the memoizer key nor the artifact-cache fingerprint
+    includes the backend.
+    """
+    key = _trace_key(
+        scene_name, scale, traversal, treelet_bytes, deferred_order,
+        formation,
+    )
     if key not in _TRACE_CACHE:
+        if backend is None:
+            backend = trace_backend_from_env()
+        elif backend not in TRACE_BACKENDS:
+            raise ValueError(f"unknown trace backend {backend!r}")
         cache = _artifact_cache()
         traces = None
         fingerprint = None
         if cache is not None:
-            components = _cache_components(scene_name, scale)
-            components.update(_raygen_components(scale))
-            components["traversal"] = traversal
-            if traversal == "treelet":
-                components["treelet_bytes"] = treelet_bytes
-                components["deferred_order"] = deferred_order
-                components["formation"] = formation
-            fingerprint = cache.fingerprint("traces", components)
+            fingerprint = _trace_fingerprint(
+                cache, scene_name, scale, traversal, treelet_bytes,
+                deferred_order, formation,
+            )
             traces = cache.load("traces", fingerprint)
         if traces is None:
             BUILD_COUNTS["traces"] += 1
             bvh = get_bvh(scene_name, scale)
             rays = [ray.clone() for ray in get_rays(scene_name, scale)]
             if traversal == "dfs":
-                traces = traverse_dfs_batch(rays, bvh)
+                if backend == "vectorized":
+                    traces = traverse_dfs_packet(rays, bvh)
+                else:
+                    traces = traverse_dfs_batch(rays, bvh)
             else:
                 decomposition = get_decomposition(
                     scene_name, scale, treelet_bytes, formation
                 )
-                traces = traverse_two_stack_batch(
-                    rays, bvh, decomposition, deferred_order
-                )
+                if backend == "vectorized":
+                    traces = traverse_two_stack_packet(
+                        rays, bvh, decomposition, deferred_order
+                    )
+                else:
+                    traces = traverse_two_stack_batch(
+                        rays, bvh, decomposition, deferred_order
+                    )
             if cache is not None:
                 cache.store("traces", fingerprint, traces)
         _TRACE_CACHE[key] = traces
     return _TRACE_CACHE[key]
+
+
+def prewarm_traces(
+    pairs,
+    scale: Scale,
+    backend: Optional[str] = None,
+) -> int:
+    """Batch-generate traces for many ``(scene_name, technique)`` pairs.
+
+    With the vectorized backend every missing trace set rides in one
+    merged ray forest (:func:`repro.traversal.traverse_forest_jobs`),
+    so the fixed per-iteration numpy dispatch cost is paid once for the
+    whole batch instead of once per (scene, technique) — this is the
+    fast path sweeps use before assembling results.  Results land in
+    the in-process memoizer and the artifact cache exactly as if
+    :func:`get_traces` had produced them one by one (they are
+    bit-identical).  Returns the number of trace sets actually built.
+    """
+    if backend is None:
+        backend = trace_backend_from_env()
+    elif backend not in TRACE_BACKENDS:
+        raise ValueError(f"unknown trace backend {backend!r}")
+    specs: Dict[tuple, tuple] = {}
+    for scene_name, technique in pairs:
+        if technique.traversal == "treelet":
+            spec = (
+                scene_name,
+                "treelet",
+                technique.treelet_bytes,
+                technique.deferred_order,
+                technique.formation,
+            )
+        else:
+            spec = (scene_name, "dfs", 0, "nearest", "bfs")
+        specs.setdefault(_trace_key(spec[0], scale, *spec[1:]), spec)
+    cache = _artifact_cache()
+    missing: List[tuple] = []
+    for key, spec in specs.items():
+        if key in _TRACE_CACHE:
+            continue
+        if cache is not None:
+            fingerprint = _trace_fingerprint(cache, spec[0], scale, *spec[1:])
+            traces = cache.load("traces", fingerprint)
+            if traces is not None:
+                _TRACE_CACHE[key] = traces
+                continue
+        missing.append((key, spec))
+    if not missing:
+        return 0
+    if backend != "vectorized":
+        for _, spec in missing:
+            get_traces(spec[0], scale, *spec[1:], backend=backend)
+        return len(missing)
+    jobs = []
+    for _, spec in missing:
+        scene_name, traversal, treelet_bytes, order, formation = spec
+        bvh = get_bvh(scene_name, scale)
+        rays = [ray.clone() for ray in get_rays(scene_name, scale)]
+        decomposition = (
+            get_decomposition(scene_name, scale, treelet_bytes, formation)
+            if traversal == "treelet"
+            else None
+        )
+        jobs.append((bvh, rays, decomposition, order))
+    outputs = traverse_forest_jobs(jobs)
+    for (key, spec), traces in zip(missing, outputs):
+        BUILD_COUNTS["traces"] += 1
+        _TRACE_CACHE[key] = traces
+        if cache is not None:
+            fingerprint = _trace_fingerprint(cache, spec[0], scale, *spec[1:])
+            cache.store("traces", fingerprint, traces)
+    return len(missing)
 
 
 def clear_caches() -> None:
@@ -550,7 +705,7 @@ def build_gpu_model(
     return model, traces, bvh, layout
 
 
-def run_experiment(
+def _run_experiment(
     scene_name: str,
     technique: Technique = BASELINE,
     scale: Scale = DEFAULT,
@@ -560,7 +715,8 @@ def run_experiment(
 ) -> ExperimentResult:
     """Evaluate ``technique`` on ``scene_name`` at ``scale``.
 
-    Pass an explicit ``gpu_config`` to override the scale's default (such
+    Canonical implementation behind :func:`repro.api.run`.  Pass an
+    explicit ``gpu_config`` to override the scale's default (such
     runs are not memoized).  Pass a :class:`repro.obs.Observer` to trace
     the run (observed runs are never memoized, so the observer always
     sees a real simulation; attaching it does not change the results).
@@ -613,6 +769,37 @@ def run_experiment(
     if use_cache and gpu_config is None and observer is None:
         _RESULT_CACHE[cache_key] = result
     return result
+
+
+def run_experiment(
+    scene_name: str,
+    technique: Technique = BASELINE,
+    scale: Scale = DEFAULT,
+    gpu_config: Optional[GpuConfig] = None,
+    use_cache: bool = True,
+    observer=None,
+) -> ExperimentResult:
+    """Deprecated alias for :func:`repro.api.run` (same results).
+
+    Kept as a thin shim for existing callers; new code should use the
+    :mod:`repro.api` facade.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.core.pipeline.run_experiment is deprecated; "
+        "use repro.api.run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_experiment(
+        scene_name,
+        technique,
+        scale,
+        gpu_config=gpu_config,
+        use_cache=use_cache,
+        observer=observer,
+    )
 
 
 def speedup(baseline: ExperimentResult, candidate: ExperimentResult) -> float:

@@ -17,7 +17,6 @@ from .pipeline import (
     ExperimentResult,
     Scale,
     Technique,
-    run_experiment,
     speedup,
 )
 from .report import geomean
@@ -97,29 +96,24 @@ def run_sweep(
     jobs: int = 1,
     progress=None,
 ) -> SweepResult:
-    """Evaluate ``technique`` against ``baseline`` on every scene.
+    """Deprecated alias for :func:`repro.api.sweep` (same results)."""
+    import warnings
 
-    ``jobs > 1`` fans the (scene, technique) evaluations across worker
-    processes via :mod:`repro.exec`; per-scene ``SimStats`` are
-    bit-identical to the serial path (the executor only relocates the
-    work).  ``progress`` is the executor's ``(done, total, job,
-    source)`` callback.
-    """
-    scenes = list(scenes)
-    if jobs > 1 and scenes:
-        from ..exec import run_sweep_parallel
+    warnings.warn(
+        "repro.core.sweeps.run_sweep is deprecated; use repro.api.sweep",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import sweep
 
-        return run_sweep_parallel(
-            technique, scenes, scale, baseline, jobs=jobs, progress=progress
-        )
-    result = SweepResult(technique=technique)
-    for scene in scenes:
-        result.outcomes[scene] = SceneOutcome(
-            scene=scene,
-            baseline=run_experiment(scene, baseline, scale),
-            candidate=run_experiment(scene, technique, scale),
-        )
-    return result
+    return sweep(
+        technique,
+        scenes,
+        scale,
+        baseline=baseline,
+        jobs=jobs,
+        progress=progress,
+    )
 
 
 def compare_techniques(
@@ -129,19 +123,17 @@ def compare_techniques(
     jobs: int = 1,
     progress=None,
 ) -> Dict[str, SweepResult]:
-    """Sweep several labeled techniques over the same scene set.
+    """Deprecated alias for :func:`repro.api.compare` (same results)."""
+    import warnings
 
-    ``jobs > 1`` evaluates every (technique, scene) pair — the shared
-    baseline included once — across one worker pool.
-    """
-    scenes = list(scenes)
-    if jobs > 1 and scenes and techniques:
-        from ..exec import compare_techniques_parallel
+    warnings.warn(
+        "repro.core.sweeps.compare_techniques is deprecated; "
+        "use repro.api.compare",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import compare
 
-        return compare_techniques_parallel(
-            techniques, scenes, scale, jobs=jobs, progress=progress
-        )
-    return {
-        label: run_sweep(technique, scenes, scale)
-        for label, technique in techniques.items()
-    }
+    return compare(
+        techniques, scenes, scale, jobs=jobs, progress=progress
+    )

@@ -36,7 +36,7 @@ from ..core.pipeline import (
     ExperimentResult,
     Scale,
     Technique,
-    run_experiment,
+    _run_experiment,
 )
 from .cache import get_artifact_cache, set_artifact_cache
 
@@ -89,7 +89,7 @@ def _init_worker(cache_dir: Optional[str]) -> None:
 
 def _run_job(job: Job) -> ExperimentResult:
     """Evaluate one job (top-level so it pickles into workers)."""
-    return run_experiment(job.scene, job.technique, job.scale)
+    return _run_experiment(job.scene, job.technique, job.scale)
 
 
 def _mp_context():
@@ -254,14 +254,26 @@ def run_sweep_parallel(
     jobs: int = 2,
     **options,
 ):
-    """Parallel :func:`repro.core.sweeps.run_sweep` — identical results,
-    evaluated across ``jobs`` worker processes."""
-    from ..core.sweeps import run_sweep
+    """Deprecated alias for ``repro.api.sweep(..., jobs=N)`` (same
+    results)."""
+    import warnings
 
-    scenes = list(scenes)
-    prewarm_results([baseline, technique], scenes, scale, jobs=jobs, **options)
-    # Assembly is pure memo lookups now; jobs=1 avoids re-entering here.
-    return run_sweep(technique, scenes, scale, baseline)
+    warnings.warn(
+        "repro.exec.run_sweep_parallel is deprecated; "
+        "use repro.api.sweep(..., jobs=N)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import sweep
+
+    return sweep(
+        technique,
+        list(scenes),
+        scale,
+        baseline=baseline,
+        jobs=max(jobs, 2),
+        **options,
+    )
 
 
 def compare_techniques_parallel(
@@ -272,13 +284,23 @@ def compare_techniques_parallel(
     jobs: int = 2,
     **options,
 ):
-    """Parallel :func:`repro.core.sweeps.compare_techniques`: every
-    (technique, scene) pair — baseline included once — fans out over
-    one shared pool."""
-    from ..core.sweeps import compare_techniques
+    """Deprecated alias for ``repro.api.compare(..., jobs=N)`` (same
+    results)."""
+    import warnings
 
-    scenes = list(scenes)
-    prewarm_results(
-        [baseline, *techniques.values()], scenes, scale, jobs=jobs, **options
+    warnings.warn(
+        "repro.exec.compare_techniques_parallel is deprecated; "
+        "use repro.api.compare(..., jobs=N)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return compare_techniques(techniques, scenes, scale)
+    from ..api import compare
+
+    return compare(
+        techniques,
+        list(scenes),
+        scale,
+        baseline=baseline,
+        jobs=max(jobs, 2),
+        **options,
+    )

@@ -2,8 +2,8 @@
 
 from .aabb import AABB, union_all
 from .mesh import Mesh, merge_meshes, mesh_bounds
-from .ray import Hit, Ray, RayKind
-from .triangle import Triangle
+from .ray import Hit, Ray, RayArrays, RayKind, rays_to_arrays
+from .triangle import Triangle, TriangleArrays, triangles_to_arrays
 from .vec import (
     Vec3,
     add,
@@ -29,8 +29,10 @@ __all__ = [
     "Hit",
     "Mesh",
     "Ray",
+    "RayArrays",
     "RayKind",
     "Triangle",
+    "TriangleArrays",
     "Vec3",
     "add",
     "cross",
@@ -44,9 +46,11 @@ __all__ = [
     "mesh_bounds",
     "mul",
     "normalize",
+    "rays_to_arrays",
     "reflect",
     "safe_inverse",
     "sub",
+    "triangles_to_arrays",
     "union_all",
     "vec3",
     "vmax",

@@ -77,6 +77,63 @@ class Ray:
 
 
 @dataclass
+class RayArrays:
+    """Structure-of-arrays view over a batch of rays.
+
+    All arrays are ``float64`` (the same IEEE doubles the scalar path
+    computes with), shaped ``[n, 3]`` for vectors and ``[n]`` for the
+    traversal interval.  ``t_max`` is a *snapshot*: traversal backends
+    keep their own mutable copy per lane.
+    """
+
+    origin: "object"  # np.ndarray [n, 3]
+    direction: "object"  # np.ndarray [n, 3]
+    inv_direction: "object"  # np.ndarray [n, 3]
+    t_min: "object"  # np.ndarray [n]
+    t_max: "object"  # np.ndarray [n]
+
+    def __len__(self) -> int:
+        return self.origin.shape[0]
+
+
+def rays_to_arrays(rays) -> RayArrays:
+    """Export a ray batch as :class:`RayArrays` for vectorized kernels.
+
+    Values are copied verbatim from the ray objects, so batched
+    arithmetic over the arrays is bit-identical to scalar arithmetic
+    over the tuples.
+    """
+    import numpy as np
+
+    n = len(rays)
+    # np.array over a list of tuples beats one row assignment per ray
+    # (each row assignment pays the full scalar-conversion machinery);
+    # reshape keeps the [0, 3] shape for empty batches.
+    origin = np.array(
+        [ray.origin for ray in rays], dtype=np.float64
+    ).reshape(n, 3)
+    direction = np.array(
+        [ray.direction for ray in rays], dtype=np.float64
+    ).reshape(n, 3)
+    inv_direction = np.array(
+        [ray.inv_direction for ray in rays], dtype=np.float64
+    ).reshape(n, 3)
+    t_min = np.fromiter(
+        (ray.t_min for ray in rays), dtype=np.float64, count=n
+    )
+    t_max = np.fromiter(
+        (ray.t_max for ray in rays), dtype=np.float64, count=n
+    )
+    return RayArrays(
+        origin=origin,
+        direction=direction,
+        inv_direction=inv_direction,
+        t_min=t_min,
+        t_max=t_max,
+    )
+
+
+@dataclass
 class Hit:
     """Result of a ray/primitive intersection."""
 

@@ -47,3 +47,37 @@ class Triangle:
         """True when the triangle has (near-)zero area."""
         n = cross(sub(self.v1, self.v0), sub(self.v2, self.v0))
         return length(n) < eps
+
+
+@dataclass(frozen=True)
+class TriangleArrays:
+    """Structure-of-arrays view over a triangle list.
+
+    ``v0``/``edge1``/``edge2`` are ``[n, 3]`` float64 arrays indexed by
+    *position in the source sequence* (the same index scalar traversal
+    uses for ``triangles[prim_id]``).  Edges are precomputed with the
+    exact subtraction Möller–Trumbore performs, so batched tests over
+    these arrays reproduce the scalar results bit-for-bit.
+    """
+
+    v0: "object"  # np.ndarray [n, 3]
+    edge1: "object"  # np.ndarray [n, 3]  (v1 - v0)
+    edge2: "object"  # np.ndarray [n, 3]  (v2 - v0)
+
+    def __len__(self) -> int:
+        return self.v0.shape[0]
+
+
+def triangles_to_arrays(triangles) -> TriangleArrays:
+    """Export a triangle sequence as :class:`TriangleArrays`."""
+    import numpy as np
+
+    n = len(triangles)
+    v0 = np.empty((n, 3), dtype=np.float64)
+    v1 = np.empty((n, 3), dtype=np.float64)
+    v2 = np.empty((n, 3), dtype=np.float64)
+    for i, tri in enumerate(triangles):
+        v0[i] = tri.v0
+        v1[i] = tri.v1
+        v2[i] = tri.v2
+    return TriangleArrays(v0=v0, edge1=v1 - v0, edge2=v2 - v0)

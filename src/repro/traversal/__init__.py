@@ -9,8 +9,18 @@ from .two_stack import (
     traverse_two_stack,
     traverse_two_stack_batch,
 )
+from .vectorized import (
+    DEFAULT_PACKET_SIZE,
+    ray_aabb_test_batch,
+    ray_triangle_test_batch,
+    traverse_dfs_packet,
+    traverse_forest_jobs,
+    traverse_packet_jobs,
+    traverse_two_stack_packet,
+)
 
 __all__ = [
+    "DEFAULT_PACKET_SIZE",
     "DEFERRED_ORDERS",
     "NodeVisit",
     "RayTrace",
@@ -20,10 +30,16 @@ __all__ = [
     "trace_from_dict",
     "trace_to_dict",
     "ray_aabb_test",
+    "ray_aabb_test_batch",
     "ray_triangle_test",
+    "ray_triangle_test_batch",
     "summarize_traces",
     "traverse_dfs",
     "traverse_dfs_batch",
+    "traverse_dfs_packet",
+    "traverse_forest_jobs",
+    "traverse_packet_jobs",
     "traverse_two_stack",
     "traverse_two_stack_batch",
+    "traverse_two_stack_packet",
 ]

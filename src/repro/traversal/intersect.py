@@ -29,6 +29,15 @@ def ray_aabb_test(ray: Ray, box: AABB) -> Optional[Tuple[float, float]]:
         inv = ray.inv_direction[axis]
         t0 = (box.lo[axis] - ray.origin[axis]) * inv
         t1 = (box.hi[axis] - ray.origin[axis]) * inv
+        if t0 != t0 or t1 != t1:
+            # 0 * inf: the ray runs parallel to this slab with its origin
+            # exactly on a slab plane.  The NaN would make every comparison
+            # below False and silently pass the axis; the correct semantics
+            # are that a parallel ray inside the slab is unconstrained by
+            # it, and a parallel ray outside the slab can never enter.
+            if not box.lo[axis] <= ray.origin[axis] <= box.hi[axis]:
+                return None
+            continue
         if t0 > t1:
             t0, t1 = t1, t0
         if t0 > t_near:

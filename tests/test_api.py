@@ -1,0 +1,207 @@
+"""The repro.api facade: run/sweep/compare, technique specs, and the
+deprecation shims over the legacy entry points.
+
+The redesign's contract: every legacy path (``run_experiment``,
+``core.sweeps.run_sweep``, ``exec.run_sweep_parallel``) warns but
+returns results identical to the facade, and technique spec strings
+resolve to exactly the Technique objects the presets/fields describe.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    RunRequest,
+    RunResult,
+    TECHNIQUE_PRESETS,
+    compare,
+    describe_techniques,
+    parse_technique,
+    run,
+    sweep,
+    technique_fields,
+)
+from repro.core import (
+    BASELINE,
+    SMOKE,
+    TREELET_PREFETCH,
+    TREELET_TRAVERSAL_ONLY,
+    Technique,
+)
+from repro.core.pipeline import _run_experiment
+from repro.obs import simstats_to_dict
+
+
+class TestParseTechnique:
+    def test_presets_resolve(self):
+        assert parse_technique("baseline") is BASELINE
+        assert parse_technique("treelet-prefetch") is TREELET_PREFETCH
+        assert parse_technique("treelet-traversal") is TREELET_TRAVERSAL_ONLY
+
+    def test_technique_objects_pass_through(self):
+        assert parse_technique(TREELET_PREFETCH) is TREELET_PREFETCH
+
+    def test_preset_with_overrides(self):
+        technique = parse_technique(
+            "treelet-prefetch,treelet_bytes=8192,deferred_order=lifo"
+        )
+        assert technique == dataclasses.replace(
+            TREELET_PREFETCH, treelet_bytes=8192, deferred_order="lifo"
+        )
+
+    def test_field_aliases(self):
+        spec = "treelet-prefetch,bytes=16384,order=fifo,stride=2"
+        technique = parse_technique(spec)
+        assert technique.treelet_bytes == 16384
+        assert technique.deferred_order == "fifo"
+        assert technique.layout_stride == 2
+
+    def test_bare_overrides_start_from_baseline_fields(self):
+        technique = parse_technique("traversal=treelet,bytes=1024")
+        assert technique.traversal == "treelet"
+        assert technique.treelet_bytes == 1024
+
+    def test_none_fields(self):
+        technique = parse_technique("treelet-prefetch,prefetch=none")
+        assert technique.prefetch is None
+
+    def test_bool_field(self):
+        assert parse_technique(
+            "treelet-prefetch,adaptive=true"
+        ).adaptive is True
+        assert parse_technique(
+            "treelet-prefetch,adaptive=false"
+        ).adaptive is False
+
+    def test_popularity_heuristic_with_threshold(self):
+        technique = parse_technique(
+            "treelet-prefetch,heuristic=popularity:0.25"
+        )
+        assert technique.heuristic.kind == "popularity"
+        assert technique.heuristic.threshold == 0.25
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown technique preset"):
+            parse_technique("warp-speed")
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(ValueError):
+            parse_technique("treelet-prefetch,warp=9")
+
+    def test_bad_int_raises(self):
+        with pytest.raises(ValueError):
+            parse_technique("treelet-prefetch,bytes=many")
+
+    def test_registry_descriptions_cover_presets(self):
+        names = {name for name, _label, _note in describe_techniques()}
+        assert names == set(TECHNIQUE_PRESETS)
+        fields = technique_fields()
+        assert any(field.startswith("bytes") for field in fields)
+
+
+class TestRun:
+    def test_run_matches_canonical_pipeline(self):
+        result = run("WKND", TREELET_PREFETCH, SMOKE)
+        canonical = _run_experiment("WKND", TREELET_PREFETCH, SMOKE)
+        assert isinstance(result, RunResult)
+        assert simstats_to_dict(result.stats) == simstats_to_dict(
+            canonical.stats
+        )
+        assert result.cycles == canonical.cycles
+
+    def test_run_accepts_spec_strings(self):
+        result = run("WKND", "treelet-prefetch", "smoke")
+        assert result.technique is TREELET_PREFETCH
+        assert result.scale is SMOKE
+
+    def test_run_accepts_request_object(self):
+        request = RunRequest(
+            scene="WKND", technique="baseline", scale="smoke"
+        )
+        result = run(request)
+        assert result.technique is BASELINE
+        assert result.cycles > 0
+
+    def test_run_trace_backends_agree(self):
+        vec = run("WKND", "baseline", SMOKE, trace_backend="vectorized")
+        sca = run("WKND", "baseline", SMOKE, trace_backend="scalar")
+        assert simstats_to_dict(vec.stats) == simstats_to_dict(sca.stats)
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            run("WKND", "baseline", "galactic")
+
+    def test_speedup_over(self):
+        base = run("WKND", BASELINE, SMOKE)
+        cand = run("WKND", TREELET_PREFETCH, SMOKE)
+        assert cand.speedup_over(base) == pytest.approx(
+            base.cycles / cand.cycles
+        )
+
+
+class TestSweepCompare:
+    SCENES = ["WKND", "SHIP"]
+
+    def test_sweep_outcomes_match_single_runs(self):
+        outcome = sweep("treelet-prefetch", self.SCENES, SMOKE)
+        assert outcome.scenes == self.SCENES
+        for scene in self.SCENES:
+            single = run(scene, TREELET_PREFETCH, SMOKE)
+            assert simstats_to_dict(
+                outcome.outcomes[scene].candidate.stats
+            ) == simstats_to_dict(single.stats)
+        assert outcome.gmean_speedup > 0
+
+    def test_compare_shares_baseline(self):
+        results = compare(
+            {"ours": "treelet-prefetch", "traversal": "treelet-traversal"},
+            ["WKND"],
+            SMOKE,
+        )
+        assert set(results) == {"ours", "traversal"}
+        ours = results["ours"].outcomes["WKND"]
+        other = results["traversal"].outcomes["WKND"]
+        assert simstats_to_dict(ours.baseline.stats) == simstats_to_dict(
+            other.baseline.stats
+        )
+
+
+class TestDeprecationShims:
+    def test_run_experiment_warns_and_matches(self):
+        from repro import run_experiment
+
+        with pytest.warns(DeprecationWarning, match="repro.api.run"):
+            legacy = run_experiment("WKND", TREELET_PREFETCH, SMOKE)
+        facade = run("WKND", TREELET_PREFETCH, SMOKE)
+        assert simstats_to_dict(legacy.stats) == simstats_to_dict(
+            facade.stats
+        )
+
+    def test_run_sweep_warns_and_matches(self):
+        from repro.core.sweeps import run_sweep
+
+        with pytest.warns(DeprecationWarning, match="repro.api.sweep"):
+            legacy = run_sweep(TREELET_PREFETCH, ["WKND"], SMOKE)
+        facade = sweep(TREELET_PREFETCH, ["WKND"], SMOKE)
+        assert legacy.speedups() == facade.speedups()
+
+    def test_compare_techniques_warns_and_matches(self):
+        from repro.core.sweeps import compare_techniques
+
+        with pytest.warns(DeprecationWarning, match="repro.api.compare"):
+            legacy = compare_techniques(
+                {"ours": TREELET_PREFETCH}, ["WKND"], SMOKE
+            )
+        facade = compare({"ours": TREELET_PREFETCH}, ["WKND"], SMOKE)
+        assert legacy["ours"].speedups() == facade["ours"].speedups()
+
+    def test_parallel_shims_warn_and_match(self):
+        from repro.exec import run_sweep_parallel
+
+        with pytest.warns(DeprecationWarning, match="repro.api.sweep"):
+            legacy = run_sweep_parallel(
+                TREELET_PREFETCH, ["WKND", "SHIP"], SMOKE, jobs=2
+            )
+        facade = sweep(TREELET_PREFETCH, ["WKND", "SHIP"], SMOKE)
+        assert legacy.speedups() == facade.speedups()

@@ -12,7 +12,10 @@ with outputs teed to ``test_output.txt`` / ``bench_output.txt``.
 With ``--reports``, additionally writes one ``repro.run_report/1``
 document per evaluation scene (headline technique, observer attached)
 to ``results/reports/`` — the structured stats + histograms consumed by
-downstream tooling (see ``docs/observability.md``).
+downstream tooling (see ``docs/observability.md``).  ``--technique``
+accepts a :func:`repro.api.parse_technique` spec string (e.g.
+``treelet-prefetch,bytes=8192,order=lifo``) and applies it to those
+report runs.
 
 ``--jobs N`` fans benchmark sweeps across N worker processes
 (``REPRO_JOBS`` for the child pytest runs), and ``--cache-dir`` points
@@ -20,8 +23,8 @@ the persistent artifact cache somewhere other than ``results/cache``
 (the harness caches by default; ``REPRO_CACHE=off`` disables).
 
 Usage:  python tools/run_full_eval.py [--scale smoke|default|full]
-                                      [--reports] [--jobs N]
-                                      [--cache-dir PATH]
+                                      [--reports] [--technique SPEC]
+                                      [--jobs N] [--cache-dir PATH]
 """
 
 from __future__ import annotations
@@ -50,8 +53,21 @@ def run(cmd, log_name, env):
     return process.returncode
 
 
-def generate_reports(env) -> int:
-    """One run_report.json per bench scene for the headline technique."""
+def validate_technique(spec):
+    """Resolve a --technique spec with repro.api.parse_technique, so a
+    typo fails fast here rather than N subprocesses later."""
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        from repro.api import parse_technique
+
+        return parse_technique(spec)
+    finally:
+        sys.path.pop(0)
+
+
+def generate_reports(env, technique=None) -> int:
+    """One run_report.json per bench scene for the headline technique
+    (or the ``--technique`` spec when given)."""
     src = str(ROOT / "src")
     env = dict(env)
     env["PYTHONPATH"] = src + (
@@ -69,14 +85,14 @@ def generate_reports(env) -> int:
     reports_dir = ROOT / "results" / "reports"
     reports_dir.mkdir(parents=True, exist_ok=True)
     for scene in scenes:
-        code = run(
-            [
-                sys.executable, "-m", "repro", "run", scene,
-                "--scale", env.get("REPRO_SCALE", "default"),
-                "--report", str(reports_dir / f"{scene}.json"),
-            ],
-            f"report_{scene}.log", env,
-        )
+        cmd = [
+            sys.executable, "-m", "repro", "run", scene,
+            "--scale", env.get("REPRO_SCALE", "default"),
+            "--report", str(reports_dir / f"{scene}.json"),
+        ]
+        if technique:
+            cmd += ["--technique", technique]
+        code = run(cmd, f"report_{scene}.log", env)
         if code != 0:
             return code
     print(f"run reports in {reports_dir}")
@@ -97,6 +113,11 @@ def main() -> int:
         help="also write per-scene run_report.json files",
     )
     parser.add_argument(
+        "--technique", default=None, metavar="SPEC",
+        help="technique spec for the --reports runs "
+             "(repro.api.parse_technique grammar; see `repro techniques`)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1,
         help="fan benchmark sweeps across N worker processes",
     )
@@ -105,6 +126,12 @@ def main() -> int:
         help="artifact cache root (default: results/cache)",
     )
     args = parser.parse_args()
+    if args.technique:
+        try:
+            validate_technique(args.technique)
+        except ValueError as exc:
+            print(f"bad --technique: {exc}", file=sys.stderr)
+            return 2
     env = dict(os.environ, REPRO_SCALE=args.scale)
     if args.jobs > 1:
         env["REPRO_JOBS"] = str(args.jobs)
@@ -134,7 +161,7 @@ def main() -> int:
         print("benchmarks failed", file=sys.stderr)
         return code
     if args.reports:
-        code = generate_reports(env)
+        code = generate_reports(env, technique=args.technique)
         if code != 0:
             print("report generation failed", file=sys.stderr)
             return code

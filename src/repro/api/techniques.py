@@ -15,6 +15,7 @@ sweep helpers, ``tools/run_full_eval.py`` — funnels through
 
 from __future__ import annotations
 
+from difflib import get_close_matches
 from typing import Dict, List, Tuple, Union
 
 from ..core.pipeline import (
@@ -60,6 +61,16 @@ _STR_FIELDS = (
 )
 
 
+def _suggest(name: str, candidates) -> str:
+    """A `(did you mean 'x'?)` fragment, or "" with no near miss.
+
+    The service feeds :func:`parse_technique` untrusted input, so typos
+    are the common case — a close match turns a dead-end error into a
+    one-edit fix."""
+    matches = get_close_matches(name, list(candidates), n=1, cutoff=0.6)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
 def _parse_heuristic(text: str) -> PrefetchHeuristic:
     """``always`` | ``partial`` | ``popularity[:threshold]``."""
     name, _, arg = text.partition(":")
@@ -81,17 +92,23 @@ def parse_technique(spec: Union[str, Technique]) -> Technique:
     """
     if isinstance(spec, Technique):
         return spec
+    if not isinstance(spec, str):
+        raise ValueError(
+            f"technique spec must be a string or Technique, "
+            f"got {type(spec).__name__}"
+        )
     text = spec.strip()
-    if not text:
-        raise ValueError("empty technique spec")
     tokens = [token.strip() for token in text.split(",") if token.strip()]
+    if not tokens:
+        raise ValueError("empty technique spec")
     base = BASELINE
-    if tokens and "=" not in tokens[0]:
+    if "=" not in tokens[0]:
         name = tokens.pop(0)
         if name not in TECHNIQUE_PRESETS:
             known = ", ".join(sorted(TECHNIQUE_PRESETS))
             raise ValueError(
-                f"unknown technique preset {name!r} (known: {known})"
+                f"unknown technique preset {name!r}"
+                f"{_suggest(name, TECHNIQUE_PRESETS)} (known: {known})"
             )
         base = TECHNIQUE_PRESETS[name]
     overrides: Dict[str, object] = {}
@@ -101,6 +118,11 @@ def parse_technique(spec: Union[str, Technique]) -> Technique:
             raise ValueError(f"expected key=value, got {token!r}")
         key = _FIELD_ALIASES.get(key.strip(), key.strip())
         value = value.strip()
+        if key in overrides:
+            raise ValueError(
+                f"duplicate technique field {key!r} "
+                "(each field may appear once, aliases included)"
+            )
         if key == "heuristic":
             overrides[key] = _parse_heuristic(value)
         elif key in _INT_FIELDS:
@@ -114,7 +136,13 @@ def parse_technique(spec: Union[str, Technique]) -> Technique:
         elif key in _STR_FIELDS:
             overrides[key] = value
         else:
-            raise ValueError(f"unknown technique field {key!r}")
+            known = (
+                *_STR_FIELDS, *_INT_FIELDS, *_BOOL_FIELDS, *_NONE_FIELDS,
+                "heuristic", *_FIELD_ALIASES,
+            )
+            raise ValueError(
+                f"unknown technique field {key!r}{_suggest(key, known)}"
+            )
     if not overrides:
         return base
     from dataclasses import replace

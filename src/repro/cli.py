@@ -13,6 +13,11 @@ Commands:
 * ``render`` — render an ASCII/PGM frame of a scene.
 * ``figures`` — recorded benchmark results as terminal charts.
 * ``cache`` — inspect or clear the persistent artifact cache.
+* ``serve`` — run the async HTTP/JSON simulation service
+  (micro-batched scheduling, backpressure, graceful drain; see
+  ``docs/serving.md``).
+* ``loadgen`` — open-loop Poisson load generator against a running
+  service; prints latency percentiles, throughput, and shed rate.
 
 ``run`` and ``sweep`` take ``--json`` (machine-readable SimStats on
 stdout) and ``--report PATH`` (structured ``run_report.json`` with
@@ -403,6 +408,89 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ServeConfig, SimulationService
+
+    cache_dir = None
+    if not getattr(args, "no_cache", False):
+        from .exec import cache_dir_from_env
+
+        cache_dir = args.cache_dir or cache_dir_from_env()
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        batch_max=args.batch_max,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        workers=args.workers,
+        default_deadline_s=args.deadline_s,
+        cache_entries=args.lru_entries,
+        cache_dir=cache_dir,
+        drain_timeout_s=args.drain_timeout_s,
+    )
+    _activate_backend(args)
+
+    async def main_async() -> None:
+        service = SimulationService(config)
+        await service.start()
+        # The announce line is machine-read (tests, scripts): keep the
+        # "listening on" phrasing and flush before blocking.
+        print(f"repro-serve listening on http://{config.host}:{service.port}",
+              flush=True)
+        print("POST /v1/run | POST /v1/sweep | GET /v1/jobs/<id> | "
+              "GET /healthz | GET /metrics  (SIGTERM/Ctrl-C drains)",
+              flush=True)
+        await service.serve_forever()
+        print("repro-serve drained cleanly", flush=True)
+
+    asyncio.run(main_async())
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve import LoadGenConfig, RequestTemplate, run_loadgen
+
+    scenes = args.scenes or ["WKND"]
+    mix = tuple(
+        RequestTemplate(
+            scene=scene, technique=args.technique, scale=args.scale
+        )
+        for scene in scenes
+    )
+    config = LoadGenConfig(
+        host=args.host,
+        port=args.port,
+        qps=args.qps,
+        requests=args.requests,
+        mix=mix,
+        seed=args.seed,
+        deadline_s=args.deadline_s,
+        timeout_s=args.timeout_s,
+    )
+    report = run_loadgen(config)
+    summary = report.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if summary["errors"] == 0 else 1
+    print(banner(
+        f"loadgen: {args.requests} req @ {args.qps:g} QPS "
+        f"-> {args.host}:{args.port}"
+    ))
+    print(f"ok / shed / errors:  {summary['ok']} / {summary['shed']} / "
+          f"{summary['errors']}  (cached {summary['cached']})")
+    print(f"throughput:          {summary['throughput_rps']:.2f} req/s "
+          f"over {summary['duration_s']:.2f}s")
+    print(f"latency p50/p95/p99: {summary['latency_p50_s'] * 1000:.1f} / "
+          f"{summary['latency_p95_s'] * 1000:.1f} / "
+          f"{summary['latency_p99_s'] * 1000:.1f} ms")
+    print(f"queue depth:         max {summary['queue_depth_max']}, "
+          f"mean {summary['queue_depth_mean']:.1f}")
+    print(f"shed rate:           {summary['shed_rate']:.1%}")
+    return 0 if summary["errors"] == 0 else 1
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     scene = build_scene(args.scene, scale.scene_scale)
@@ -492,6 +580,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache root (default: $REPRO_CACHE_DIR or results/cache)",
     )
 
+    serve = sub.add_parser(
+        "serve", help="run the async HTTP/JSON simulation service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8077,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--queue-limit", type=_positive_int, default=64,
+                       help="admission queue bound; beyond it requests "
+                            "are shed with 429 + Retry-After")
+    serve.add_argument("--batch-max", type=_positive_int, default=8,
+                       help="max jobs coalesced into one micro-batch")
+    serve.add_argument("--batch-window-ms", type=float, default=5.0,
+                       help="straggler wait after the first arrival "
+                            "before a batch dispatches")
+    serve.add_argument("--workers", type=_positive_int, default=1,
+                       help="fan simulation replays across N worker "
+                            "processes (repro.exec pool)")
+    serve.add_argument("--deadline-s", type=float, default=None,
+                       help="default per-request deadline (requests may "
+                            "override with deadline_s)")
+    serve.add_argument("--lru-entries", type=_positive_int, default=256,
+                       help="in-memory LRU result-cache capacity")
+    serve.add_argument("--drain-timeout-s", type=float, default=60.0,
+                       help="max wait for in-flight jobs on SIGTERM")
+    _add_cache_args(serve)
+    _add_backend_args(serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="open-loop Poisson load generator for `repro serve`"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8077)
+    loadgen.add_argument("--qps", type=float, default=8.0,
+                         help="offered arrival rate (Poisson)")
+    loadgen.add_argument("--requests", type=_positive_int, default=50)
+    loadgen.add_argument("--scenes", nargs="*", choices=list(ALL_SCENES),
+                         help="request mix, uniform over these scenes "
+                              "(default: WKND)")
+    loadgen.add_argument("--technique", metavar="SPEC",
+                         default="treelet-prefetch",
+                         help="technique spec sent with every request")
+    loadgen.add_argument("--scale", choices=list(_SCALES), default="smoke")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="arrival-process RNG seed")
+    loadgen.add_argument("--deadline-s", type=float, default=None,
+                         help="per-request deadline forwarded to the server")
+    loadgen.add_argument("--timeout-s", type=float, default=120.0,
+                         help="client-side socket timeout")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the machine-readable summary")
+
     rend = sub.add_parser("render", help="render a scene frame")
     rend.add_argument("scene", choices=list(ALL_SCENES))
     rend.add_argument("--scale", choices=list(_SCALES), default="default")
@@ -516,6 +655,8 @@ _COMMANDS = {
     "render": _cmd_render,
     "figures": _cmd_figures,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 
@@ -526,6 +667,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Output piped into a pager/head that exited early; not an error.
         return 0
+    except KeyboardInterrupt:
+        # Interactive interrupt of a long run/sweep/serve: one line, the
+        # conventional 128+SIGINT exit status, no traceback.
+        print(f"interrupted: {args.command} aborted by user", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

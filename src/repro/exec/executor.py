@@ -69,6 +69,7 @@ class ExecutionReport:
     timeouts: int = 0
     worker_failures: int = 0
     inprocess_fallbacks: int = 0
+    progress_errors: int = 0
     pool_broken: bool = False
     sources: Dict[str, int] = field(default_factory=dict)
 
@@ -158,7 +159,14 @@ def execute_jobs(
     def announce(done: int, job: Job, source: str) -> None:
         report.note(source)
         for callback in callbacks:
-            callback(done, len(unique), job, source)
+            # A progress callback is user code observing the sweep; an
+            # exception inside it must never abort jobs mid-flight.
+            try:
+                callback(done, len(unique), job, source)
+            except Exception:  # noqa: BLE001 — observer isolation
+                report.progress_errors += 1
+                if metrics is not None:
+                    metrics.counter("exec.progress_errors").inc()
 
     results: Dict[tuple, ExperimentResult] = {}
     if workers <= 1 or len(unique) <= 1:

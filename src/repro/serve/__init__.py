@@ -1,0 +1,85 @@
+"""repro.serve — the async simulation service and its load generator.
+
+The long-running entry point the ROADMAP's traffic-serving goal calls
+for: a stdlib-only asyncio HTTP/JSON server that exposes the
+:mod:`repro.api` facade as a job-oriented API with micro-batched
+scheduling, bounded-queue backpressure (429 + ``Retry-After``),
+per-request deadlines, cancellation, graceful drain on SIGTERM, and an
+in-memory LRU result cache over the on-disk artifact cache.
+
+Typical use::
+
+    # terminal 1
+    $ repro serve --port 8077 --workers 2
+
+    # terminal 2
+    $ repro loadgen --port 8077 --qps 16 --requests 200
+
+or in-process::
+
+    from repro.serve import ServeConfig, SimulationService
+
+    service = SimulationService(ServeConfig(port=0))
+    await service.start()
+    print(service.port)
+    await service.serve_forever()
+
+See ``docs/serving.md`` for endpoint and batching semantics, and
+``benchmarks/perf/servebench.py`` for the QPS-sweep benchmark that
+produces ``BENCH_serve.json``.
+"""
+
+from .cache import ResultLRU
+from .loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    RequestOutcome,
+    RequestTemplate,
+    http_request_json,
+    run_loadgen,
+    run_loadgen_async,
+)
+from .protocol import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JobRecord,
+    PROTOCOL_SCHEMA,
+    QUEUED,
+    RUNNING,
+    RunSpec,
+    ServeError,
+    SweepSpec,
+    TIMEOUT,
+    normalize_run,
+    normalize_sweep,
+)
+from .scheduler import MicroBatchScheduler
+from .service import ServeConfig, SimulationService
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JobRecord",
+    "LoadGenConfig",
+    "LoadReport",
+    "MicroBatchScheduler",
+    "PROTOCOL_SCHEMA",
+    "QUEUED",
+    "RUNNING",
+    "RequestOutcome",
+    "RequestTemplate",
+    "ResultLRU",
+    "RunSpec",
+    "ServeConfig",
+    "ServeError",
+    "SimulationService",
+    "SweepSpec",
+    "TIMEOUT",
+    "http_request_json",
+    "normalize_run",
+    "normalize_sweep",
+    "run_loadgen",
+    "run_loadgen_async",
+]

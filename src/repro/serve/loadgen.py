@@ -1,0 +1,281 @@
+"""Open-loop load generator for the simulation service.
+
+Arrivals follow a Poisson process at the configured offered QPS and are
+**open loop**: each request fires at its scheduled instant whether or
+not earlier ones have completed, so a saturated server sees real queue
+pressure (and sheds it with 429) instead of the closed-loop
+self-throttling that hides saturation — the methodology the serving
+benchmarks (`llm-d-benchmark` and friends) use for latency/saturation
+curves.
+
+Each request is a ``POST /v1/run?wait=1`` drawn from a weighted mix of
+(scene, technique, scale) templates; latency is measured submit to
+terminal state.  A background sampler polls ``/healthz`` for queue
+depth while the run is in flight.  The whole thing is stdlib asyncio —
+including the minimal HTTP/1.1 client — so it runs anywhere the server
+does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RequestTemplate:
+    """One entry in the offered-traffic mix."""
+
+    scene: str = "WKND"
+    technique: str = "treelet-prefetch"
+    scale: str = "smoke"
+    weight: float = 1.0
+
+    def payload(self) -> dict:
+        return {
+            "scene": self.scene,
+            "technique": self.technique,
+            "scale": self.scale,
+            "wait": True,
+        }
+
+
+@dataclass
+class LoadGenConfig:
+    host: str = "127.0.0.1"
+    port: int = 8077
+    qps: float = 8.0  # offered arrival rate
+    requests: int = 50
+    mix: Tuple[RequestTemplate, ...] = (RequestTemplate(),)
+    seed: int = 0
+    deadline_s: Optional[float] = None  # forwarded per request
+    timeout_s: float = 120.0  # client-side socket timeout
+    sample_interval_s: float = 0.05  # /healthz queue-depth sampling
+
+
+@dataclass
+class RequestOutcome:
+    index: int
+    offset_s: float  # scheduled arrival relative to run start
+    status: int  # HTTP status; 0 = transport error
+    latency_s: float
+    state: str = ""  # job state from the response document
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300 and self.state == "done"
+
+    @property
+    def shed(self) -> bool:
+        return self.status == 429
+
+
+@dataclass
+class LoadReport:
+    """Everything one loadgen run observed."""
+
+    offered_qps: float
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+    duration_s: float = 0.0
+    queue_depth_samples: List[int] = field(default_factory=list)
+
+    def latencies(self) -> List[float]:
+        return sorted(o.latency_s for o in self.outcomes if o.ok)
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over successful-request latencies."""
+        latencies = self.latencies()
+        if not latencies:
+            return 0.0
+        rank = max(0, min(len(latencies) - 1,
+                          int(round(fraction * (len(latencies) - 1)))))
+        return latencies[rank]
+
+    def summary(self) -> dict:
+        total = len(self.outcomes)
+        ok = sum(1 for o in self.outcomes if o.ok)
+        shed = sum(1 for o in self.outcomes if o.shed)
+        errors = sum(
+            1 for o in self.outcomes
+            if not o.ok and not o.shed
+        )
+        cached = sum(1 for o in self.outcomes if o.cached)
+        return {
+            "offered_qps": self.offered_qps,
+            "requests": total,
+            "ok": ok,
+            "shed": shed,
+            "errors": errors,
+            "cached": cached,
+            "ok_rate": ok / total if total else 0.0,
+            "shed_rate": shed / total if total else 0.0,
+            "duration_s": self.duration_s,
+            "throughput_rps": ok / self.duration_s if self.duration_s else 0.0,
+            "latency_p50_s": self.percentile(0.50),
+            "latency_p95_s": self.percentile(0.95),
+            "latency_p99_s": self.percentile(0.99),
+            "queue_depth_max": max(self.queue_depth_samples, default=0),
+            "queue_depth_mean": (
+                sum(self.queue_depth_samples) / len(self.queue_depth_samples)
+                if self.queue_depth_samples else 0.0
+            ),
+        }
+
+
+async def http_request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    timeout: float = 30.0,
+) -> Tuple[int, Dict[str, str], dict]:
+    """Minimal one-shot HTTP/1.1 JSON client (stdlib asyncio sockets).
+
+    Returns ``(status, headers, document)``; the connection is closed
+    after the response (the server sends ``Connection: close``).
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        body = (
+            json.dumps(payload).encode("utf-8") if payload is not None else b""
+        )
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Accept: application/json",
+            "Connection: close",
+            f"Content-Length: {len(body)}",
+        ]
+        if payload is not None:
+            lines.append("Content-Type: application/json")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
+        await writer.drain()
+
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        raw = (
+            await asyncio.wait_for(reader.readexactly(length), timeout)
+            if length else b""
+        )
+        document = json.loads(raw.decode("utf-8")) if raw else {}
+        return status, headers, document
+    finally:
+        try:
+            writer.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def _arrival_offsets(config: LoadGenConfig) -> List[float]:
+    """Cumulative Poisson arrival offsets (seconds from run start)."""
+    rng = random.Random(config.seed)
+    offsets = []
+    clock = 0.0
+    for _ in range(config.requests):
+        clock += rng.expovariate(config.qps) if config.qps > 0 else 0.0
+        offsets.append(clock)
+    return offsets
+
+
+def _pick_templates(config: LoadGenConfig) -> List[RequestTemplate]:
+    rng = random.Random(config.seed + 1)
+    templates = list(config.mix) or [RequestTemplate()]
+    weights = [max(template.weight, 0.0) for template in templates]
+    if not any(weights):
+        weights = [1.0] * len(templates)
+    return rng.choices(templates, weights=weights, k=config.requests)
+
+
+async def run_loadgen_async(config: LoadGenConfig) -> LoadReport:
+    offsets = _arrival_offsets(config)
+    templates = _pick_templates(config)
+    report = LoadReport(offered_qps=config.qps)
+    start = time.monotonic()
+
+    async def fire(index: int, offset: float,
+                   template: RequestTemplate) -> RequestOutcome:
+        delay = start + offset - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        payload = template.payload()
+        if config.deadline_s is not None:
+            payload["deadline_s"] = config.deadline_s
+        begin = time.monotonic()
+        try:
+            status, _headers, document = await http_request_json(
+                config.host, config.port, "POST", "/v1/run?wait=1",
+                payload, timeout=config.timeout_s,
+            )
+        except (OSError, ConnectionError, asyncio.TimeoutError,
+                ValueError, asyncio.IncompleteReadError):
+            return RequestOutcome(
+                index=index, offset_s=offset, status=0,
+                latency_s=time.monotonic() - begin,
+            )
+        return RequestOutcome(
+            index=index,
+            offset_s=offset,
+            status=status,
+            latency_s=time.monotonic() - begin,
+            state=document.get("state", ""),
+            cached=bool(document.get("cached", False)),
+        )
+
+    async def sample_queue(stop: "asyncio.Event") -> None:
+        while not stop.is_set():
+            try:
+                _status, _headers, document = await http_request_json(
+                    config.host, config.port, "GET", "/healthz",
+                    timeout=config.timeout_s,
+                )
+                report.queue_depth_samples.append(
+                    int(document.get("queue_depth", 0))
+                )
+            except Exception:  # noqa: BLE001 — sampling is best-effort
+                pass
+            try:
+                await asyncio.wait_for(stop.wait(), config.sample_interval_s)
+            except asyncio.TimeoutError:
+                continue
+
+    stop_sampling = asyncio.Event()
+    sampler = asyncio.ensure_future(sample_queue(stop_sampling))
+    try:
+        outcomes = await asyncio.gather(*[
+            fire(index, offset, template)
+            for index, (offset, template) in enumerate(zip(offsets, templates))
+        ])
+    finally:
+        stop_sampling.set()
+        await sampler
+    report.outcomes = sorted(outcomes, key=lambda o: o.index)
+    report.duration_s = time.monotonic() - start
+    return report
+
+
+def run_loadgen(config: LoadGenConfig) -> LoadReport:
+    """Synchronous wrapper (spins a private event loop)."""
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(run_loadgen_async(config))
+    finally:
+        loop.close()

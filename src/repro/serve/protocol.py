@@ -1,0 +1,359 @@
+"""Wire protocol for the simulation service: job records, request
+normalization, and result documents.
+
+Everything the HTTP layer accepts is validated here, *before* a job is
+admitted — an invalid scene, technique spec, or scale never reaches the
+scheduler.  Normalization reuses the exact front doors the rest of the
+codebase uses (:func:`repro.api.parse_technique`, the scale registry),
+so a served request and a direct :func:`repro.api.run` call resolve to
+the same :class:`~repro.core.Technique` / :class:`~repro.core.Scale`
+objects and therefore the same bit-identical results.
+
+Job lifecycle::
+
+    queued -> running -> done
+                      -> failed      (evaluation raised)
+                      -> timeout     (deadline expired, queued or running)
+           -> cancelled              (cancel before dispatch)
+           -> timeout                (deadline expired while queued)
+
+All state transitions happen on the service's event-loop thread; the
+batch worker thread only *computes* and hands outcomes back, so records
+never need locks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.pipeline import BASELINE, Scale, Technique, speedup
+from ..core.report import geomean
+from ..obs.report import simstats_to_dict
+
+PROTOCOL_SCHEMA = "repro.serve/1"
+
+#: Job states, as they appear in ``GET /v1/jobs/<id>`` documents.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMEOUT = "timeout"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = (DONE, FAILED, TIMEOUT, CANCELLED)
+
+
+class ServeError(Exception):
+    """An HTTP-mappable request error (bad payload, full queue, ...)."""
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+def _scales():
+    from ..core.pipeline import DEFAULT, FULL, PAPER, SMOKE
+
+    return {"smoke": SMOKE, "default": DEFAULT, "full": FULL, "paper": PAPER}
+
+
+def _coerce_scale(name) -> Scale:
+    if isinstance(name, Scale):
+        return name
+    scales = _scales()
+    try:
+        return scales[str(name).strip().lower()]
+    except KeyError:
+        known = ", ".join(scales)
+        raise ServeError(400, f"unknown scale {name!r} (known: {known})")
+
+
+def _coerce_technique(spec) -> Technique:
+    from ..api import parse_technique
+
+    try:
+        return parse_technique(spec)
+    except (ValueError, TypeError) as exc:
+        raise ServeError(400, f"bad technique: {exc}")
+
+
+def _coerce_scene(name) -> str:
+    from ..scenes import ALL_SCENES
+
+    scene = str(name).strip().upper()
+    if scene not in ALL_SCENES:
+        known = ", ".join(ALL_SCENES)
+        raise ServeError(400, f"unknown scene {name!r} (known: {known})")
+    return scene
+
+
+def _coerce_deadline(payload: dict) -> Optional[float]:
+    raw = payload.get("deadline_s")
+    if raw is None:
+        return None
+    try:
+        deadline = float(raw)
+    except (TypeError, ValueError):
+        raise ServeError(400, f"deadline_s must be a number, got {raw!r}")
+    if deadline < 0:
+        raise ServeError(400, "deadline_s must be non-negative")
+    return deadline
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A validated ``POST /v1/run`` request."""
+
+    scene: str
+    technique: Technique
+    scale: Scale
+    include_baseline: bool = False
+    deadline_s: Optional[float] = None
+
+    @property
+    def cache_key(self) -> tuple:
+        return ("run", self.scene, repr(self.technique), self.scale.name,
+                self.include_baseline)
+
+    def trace_pairs(self) -> List[Tuple[str, Technique]]:
+        """(scene, technique) pairs whose traces this job will need —
+        the scheduler coalesces these across the whole batch."""
+        pairs = [(self.scene, self.technique)]
+        if self.include_baseline:
+            pairs.append((self.scene, BASELINE))
+        return pairs
+
+    def exec_jobs(self) -> list:
+        from ..exec.executor import Job
+
+        jobs = [Job(self.scene, self.technique, self.scale)]
+        if self.include_baseline:
+            jobs.append(Job(self.scene, BASELINE, self.scale))
+        return jobs
+
+    def describe(self) -> dict:
+        doc = {
+            "kind": "run",
+            "scene": self.scene,
+            "technique": self.technique.label(),
+            "scale": self.scale.name,
+        }
+        if self.include_baseline:
+            doc["baseline"] = True
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        return doc
+
+    def evaluate(self) -> dict:
+        """Run the request and build its result document.
+
+        Artifacts and (usually) the experiment itself are already warm:
+        the scheduler prewarms traces for the whole batch and, with a
+        worker pool, seeds the result memoizer before this is called.
+        """
+        from ..api import run as api_run
+
+        result = api_run(self.scene, self.technique, self.scale)
+        doc = {
+            "kind": "run",
+            "scene": self.scene,
+            "technique": self.technique.label(),
+            "scale": self.scale.name,
+            "cycles": result.cycles,
+            "stats": simstats_to_dict(result.stats),
+        }
+        if self.include_baseline:
+            base = api_run(self.scene, BASELINE, self.scale)
+            doc["baseline_cycles"] = base.cycles
+            doc["speedup"] = speedup(base.experiment, result.experiment)
+            doc["baseline_stats"] = simstats_to_dict(base.stats)
+        return doc
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A validated ``POST /v1/sweep`` request."""
+
+    technique: Technique
+    scenes: Tuple[str, ...]
+    scale: Scale
+    baseline: Technique = BASELINE
+    deadline_s: Optional[float] = None
+
+    @property
+    def cache_key(self) -> tuple:
+        return ("sweep", self.scenes, repr(self.technique),
+                repr(self.baseline), self.scale.name)
+
+    def trace_pairs(self) -> List[Tuple[str, Technique]]:
+        return [
+            (scene, technique)
+            for scene in self.scenes
+            for technique in (self.baseline, self.technique)
+        ]
+
+    def exec_jobs(self) -> list:
+        from ..exec.executor import Job
+
+        return [
+            Job(scene, technique, self.scale)
+            for scene in self.scenes
+            for technique in (self.baseline, self.technique)
+        ]
+
+    def describe(self) -> dict:
+        doc = {
+            "kind": "sweep",
+            "technique": self.technique.label(),
+            "scenes": list(self.scenes),
+            "scale": self.scale.name,
+        }
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        return doc
+
+    def evaluate(self) -> dict:
+        from ..api import sweep as api_sweep
+
+        outcome = api_sweep(
+            self.technique, list(self.scenes), self.scale,
+            baseline=self.baseline,
+        )
+        gains = {}
+        scenes_doc = {}
+        for scene in self.scenes:
+            pair = outcome.outcomes[scene]
+            gains[scene] = pair.speedup
+            scenes_doc[scene] = {
+                "baseline_cycles": pair.baseline.cycles,
+                "cycles": pair.candidate.cycles,
+                "speedup": pair.speedup,
+            }
+        return {
+            "kind": "sweep",
+            "technique": self.technique.label(),
+            "scale": self.scale.name,
+            "gmean_speedup": geomean(list(gains.values())) if gains else 1.0,
+            "scenes": scenes_doc,
+        }
+
+
+def normalize_run(payload: dict) -> RunSpec:
+    if not isinstance(payload, dict):
+        raise ServeError(400, "request body must be a JSON object")
+    if "scene" not in payload:
+        raise ServeError(400, "missing required field 'scene'")
+    return RunSpec(
+        scene=_coerce_scene(payload["scene"]),
+        technique=_coerce_technique(payload.get("technique", "baseline")),
+        scale=_coerce_scale(payload.get("scale", "default")),
+        include_baseline=bool(payload.get("baseline", False)),
+        deadline_s=_coerce_deadline(payload),
+    )
+
+
+def normalize_sweep(payload: dict) -> SweepSpec:
+    if not isinstance(payload, dict):
+        raise ServeError(400, "request body must be a JSON object")
+    if "technique" not in payload:
+        raise ServeError(400, "missing required field 'technique'")
+    scenes = payload.get("scenes")
+    if scenes is None:
+        from ..scenes import ALL_SCENES
+
+        scenes = list(ALL_SCENES)
+    if not isinstance(scenes, (list, tuple)) or not scenes:
+        raise ServeError(400, "'scenes' must be a non-empty list")
+    return SweepSpec(
+        technique=_coerce_technique(payload["technique"]),
+        scenes=tuple(_coerce_scene(scene) for scene in scenes),
+        scale=_coerce_scale(payload.get("scale", "default")),
+        baseline=_coerce_technique(payload.get("baseline", "baseline")),
+        deadline_s=_coerce_deadline(payload),
+    )
+
+
+@dataclass
+class JobRecord:
+    """One admitted job, from queue to terminal state."""
+
+    id: str
+    spec: object  # RunSpec | SweepSpec
+    state: str = QUEUED
+    created_unix: float = field(default_factory=time.time)
+    submitted: float = field(default_factory=time.monotonic)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    deadline: Optional[float] = None  # monotonic, from submit + deadline_s
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    cached: bool = False
+    cancel_requested: bool = False
+    done_event: Optional[object] = None  # asyncio.Event, set by the service
+
+    def __post_init__(self) -> None:
+        if self.deadline is None and self.spec.deadline_s is not None:
+            self.deadline = self.submitted + self.spec.deadline_s
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) > self.deadline
+
+    def remaining(self, now: Optional[float] = None) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        now = time.monotonic() if now is None else now
+        return max(0.0, self.deadline - now)
+
+    def finalize(self, state: str, *, result: Optional[dict] = None,
+                 error: Optional[str] = None) -> None:
+        """Move to a terminal state (idempotent; first transition wins)."""
+        if self.terminal:
+            return
+        self.state = state
+        self.result = result
+        self.error = error
+        self.finished = time.monotonic()
+        if self.done_event is not None:
+            self.done_event.set()
+
+    @property
+    def queue_wait_s(self) -> Optional[float]:
+        if self.started is None:
+            return None
+        return self.started - self.submitted
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.finished is None:
+            return None
+        return self.finished - self.submitted
+
+    def as_document(self) -> dict:
+        doc = {
+            "schema": PROTOCOL_SCHEMA,
+            "id": self.id,
+            "state": self.state,
+            "request": self.spec.describe(),
+            "created_unix": self.created_unix,
+            "cached": self.cached,
+        }
+        if self.queue_wait_s is not None:
+            doc["queue_wait_s"] = self.queue_wait_s
+        if self.latency_s is not None:
+            doc["latency_s"] = self.latency_s
+        if self.result is not None:
+            doc["result"] = self.result
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc

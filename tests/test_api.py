@@ -85,9 +85,42 @@ class TestParseTechnique:
         with pytest.raises(ValueError, match="unknown technique preset"):
             parse_technique("warp-speed")
 
+    def test_unknown_preset_suggests_near_miss(self):
+        with pytest.raises(
+            ValueError, match=r"did you mean 'treelet-prefetch'\?"
+        ):
+            parse_technique("treelet-prefech")
+
     def test_unknown_field_raises(self):
         with pytest.raises(ValueError):
             parse_technique("treelet-prefetch,warp=9")
+
+    def test_unknown_field_suggests_near_miss(self):
+        with pytest.raises(ValueError, match=r"did you mean 'bytes'\?"):
+            parse_technique("treelet-prefetch,byts=8192")
+
+    def test_empty_spec_raises(self):
+        with pytest.raises(ValueError, match="empty technique spec"):
+            parse_technique("")
+        with pytest.raises(ValueError, match="empty technique spec"):
+            parse_technique("  , ,")
+
+    def test_non_string_spec_raises(self):
+        with pytest.raises(ValueError, match="must be a string"):
+            parse_technique(42)
+        with pytest.raises(ValueError, match="must be a string"):
+            parse_technique(None)
+
+    def test_duplicate_field_raises(self):
+        with pytest.raises(ValueError, match="duplicate technique field"):
+            parse_technique("treelet-prefetch,bytes=4096,bytes=8192")
+
+    def test_duplicate_via_alias_raises(self):
+        # 'bytes' is an alias for 'treelet_bytes': same field twice.
+        with pytest.raises(
+            ValueError, match="duplicate technique field 'treelet_bytes'"
+        ):
+            parse_technique("treelet-prefetch,bytes=4096,treelet_bytes=8192")
 
     def test_bad_int_raises(self):
         with pytest.raises(ValueError):

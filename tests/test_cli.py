@@ -85,3 +85,67 @@ class TestCommands:
              "--mapping-mode", "loose"]
         )
         assert code == 0
+
+
+class TestInterrupt:
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "sweep", interrupted)
+        assert main(["sweep", "--scale", "smoke"]) == 130
+        err = capsys.readouterr().err
+        assert err.strip() == "interrupted: sweep aborted by user"
+
+    def test_keyboard_interrupt_in_serve_exits_130(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "serve", interrupted)
+        assert main(["serve", "--port", "0"]) == 130
+        assert "serve aborted by user" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8077
+        assert args.queue_limit == 64
+        assert args.batch_max == 8
+        assert args.workers == 1
+
+    def test_loadgen_against_live_service(self, capsys):
+        import asyncio
+        import json as json_mod
+        import threading
+
+        from repro.serve import ServeConfig, SimulationService
+
+        service = SimulationService(ServeConfig(port=0))
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            asyncio.run_coroutine_threadsafe(
+                service.start(), loop
+            ).result(30)
+            code = main([
+                "loadgen", "--port", str(service.port), "--qps", "50",
+                "--requests", "6", "--scale", "smoke",
+                "--technique", "baseline", "--json",
+            ])
+            assert code == 0
+            summary = json_mod.loads(capsys.readouterr().out)
+            assert summary["requests"] == 6
+            assert summary["ok"] == 6
+            assert summary["errors"] == 0
+        finally:
+            asyncio.run_coroutine_threadsafe(
+                service.aclose(), loop
+            ).result(30)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)

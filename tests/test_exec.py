@@ -234,6 +234,28 @@ class TestExecuteJobs:
         assert [s[0] for s in seen] == [1, 2]
         assert all(s[1] == 2 for s in seen)
 
+    def test_raising_progress_callback_never_aborts_jobs(self):
+        from repro.obs import MetricRegistry
+
+        registry = MetricRegistry()
+
+        def broken(done, total, job, source):
+            raise RuntimeError("observer bug")
+
+        jobs = [Job(s, BASELINE, SMOKE) for s in SCENES]
+        report = ExecutionReport()
+        results = execute_jobs(
+            jobs, workers=1, job_fn=lambda j: j.scene, progress=broken,
+            metrics=registry, report=report,
+        )
+        # Every job still completed, the failures were counted, and the
+        # well-behaved metrics callback still ran.
+        assert results == list(SCENES)
+        assert report.completed == len(SCENES)
+        assert report.progress_errors == len(SCENES)
+        assert registry.counter("exec.progress_errors").value == len(SCENES)
+        assert registry.counter("exec.jobs_done").value == len(SCENES)
+
     def test_metrics_counters(self):
         from repro.obs import MetricRegistry
 

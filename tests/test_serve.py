@@ -1,0 +1,491 @@
+"""Acceptance tests for repro.serve: the async simulation service.
+
+The service runs on a private event loop in a background thread; tests
+talk to it over real TCP with urllib, exactly like an external client.
+Covers the PR's contract:
+
+* a served ``POST /v1/run`` returns SimStats bit-identical to a direct
+  ``repro.api.run`` call;
+* a full admission queue sheds with 429 + ``Retry-After``;
+* an expired deadline reports ``timeout`` without wedging the worker
+  pool;
+* SIGTERM (and in-process drain) finish in-flight jobs before exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (
+    LoadGenConfig,
+    LoadReport,
+    RequestOutcome,
+    RequestTemplate,
+    ResultLRU,
+    ServeConfig,
+    SimulationService,
+    run_loadgen,
+)
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+class ServiceHandle:
+    """A service on its own event loop + thread, driven over real HTTP."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.service = SimulationService(config)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def start(self) -> "ServiceHandle":
+        self.thread.start()
+        self.call(self.service.start(), timeout=30)
+        return self
+
+    def stop(self) -> None:
+        if self.thread.is_alive():
+            try:
+                self.call(self.service.aclose(), timeout=30)
+            except Exception:  # noqa: BLE001 — teardown best-effort
+                pass
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self.thread.join(timeout=10)
+
+    def call(self, coro, timeout: float = 60):
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(
+            timeout
+        )
+
+    def call_soon(self, fn) -> None:
+        self.loop.call_soon_threadsafe(fn)
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    # -- HTTP client helpers ------------------------------------------
+
+    def request(self, method: str, path: str, payload=None, timeout=60):
+        data = json.dumps(payload).encode() if payload is not None else None
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}{path}",
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, dict(resp.headers), json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), json.loads(exc.read())
+
+    def post(self, path: str, payload: dict, timeout=60):
+        return self.request("POST", path, payload, timeout)
+
+    def get(self, path: str, timeout=60):
+        return self.request("GET", path, None, timeout)
+
+    def wait_for_state(self, job_id: str, states, timeout: float = 30):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _status, _headers, doc = self.get(f"/v1/jobs/{job_id}")
+            if doc["state"] in states:
+                return doc
+            time.sleep(0.02)
+        raise AssertionError(
+            f"job {job_id} never reached {states}; last doc: {doc}"
+        )
+
+
+@pytest.fixture
+def serve_factory():
+    handles = []
+
+    def make(**overrides) -> ServiceHandle:
+        overrides.setdefault("port", 0)
+        handle = ServiceHandle(ServeConfig(**overrides)).start()
+        handles.append(handle)
+        return handle
+
+    yield make
+    for handle in handles:
+        handle.stop()
+
+
+def _normalize(document: dict) -> dict:
+    """JSON round-trip (tuples -> lists, int keys -> str keys)."""
+    return json.loads(json.dumps(document))
+
+
+class TestServedResults:
+    def test_run_bit_identical_to_direct_api(self, serve_factory):
+        from repro.api import run as api_run
+        from repro.obs import simstats_to_dict
+
+        handle = serve_factory()
+        status, _headers, doc = handle.post(
+            "/v1/run?wait=1",
+            {"scene": "WKND", "technique": "treelet-prefetch",
+             "scale": "smoke"},
+        )
+        assert status == 200
+        assert doc["state"] == "done"
+        direct = api_run("WKND", "treelet-prefetch", "smoke")
+        assert doc["result"]["stats"] == _normalize(
+            simstats_to_dict(direct.stats)
+        )
+        assert doc["result"]["cycles"] == direct.cycles
+
+    def test_run_with_baseline_reports_speedup(self, serve_factory):
+        handle = serve_factory()
+        status, _headers, doc = handle.post(
+            "/v1/run?wait=1",
+            {"scene": "WKND", "technique": "treelet-prefetch",
+             "scale": "smoke", "baseline": True},
+        )
+        assert status == 200
+        result = doc["result"]
+        assert result["speedup"] == pytest.approx(
+            result["baseline_cycles"] / result["cycles"]
+        )
+
+    def test_sweep_matches_direct_sweep(self, serve_factory):
+        from repro.api import sweep as api_sweep
+
+        handle = serve_factory()
+        status, _headers, doc = handle.post(
+            "/v1/sweep?wait=1",
+            {"technique": "treelet-prefetch", "scenes": ["WKND", "SHIP"],
+             "scale": "smoke"},
+        )
+        assert status == 200
+        direct = api_sweep("treelet-prefetch", ["WKND", "SHIP"], "smoke")
+        assert doc["result"]["gmean_speedup"] == pytest.approx(
+            direct.gmean_speedup
+        )
+
+    def test_repeat_request_is_cached_and_fast(self, serve_factory):
+        handle = serve_factory()
+        payload = {"scene": "WKND", "technique": "treelet-prefetch",
+                   "scale": "smoke"}
+        _status, _headers, cold = handle.post("/v1/run?wait=1", payload)
+        assert cold["cached"] is False
+        start = time.monotonic()
+        status, _headers, warm = handle.post("/v1/run?wait=1", payload)
+        elapsed = time.monotonic() - start
+        assert status == 200
+        assert warm["cached"] is True
+        assert warm["state"] == "done"
+        assert warm["result"] == cold["result"]
+        assert elapsed < 1.0  # served from memory, no simulation
+        _status, _headers, metrics = handle.get("/metrics")
+        assert metrics["metrics"]["counters"]["serve.cache_hits"] >= 1
+
+    def test_micro_batch_coalesces_concurrent_requests(self, serve_factory):
+        handle = serve_factory(start_paused=True, batch_max=8)
+        ids = []
+        for technique in ("baseline", "treelet-prefetch",
+                          "treelet-traversal"):
+            status, _headers, doc = handle.post(
+                "/v1/run",
+                {"scene": "WKND", "technique": technique, "scale": "smoke"},
+            )
+            assert status == 202
+            ids.append(doc["id"])
+        handle.call_soon(handle.service.scheduler.resume)
+        for job_id in ids:
+            doc = handle.wait_for_state(job_id, ("done",))
+            assert doc["result"]["cycles"] > 0
+        # All three rode one micro-batch through the scheduler.
+        _status, _headers, metrics = handle.get("/metrics")
+        assert metrics["metrics"]["counters"]["serve.batches"] == 1
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_429_and_retry_after(self, serve_factory):
+        handle = serve_factory(queue_limit=2, start_paused=True)
+        admitted = []
+        for index in range(2):
+            status, _headers, doc = handle.post(
+                "/v1/run",
+                {"scene": "WKND", "technique": "baseline", "scale": "smoke",
+                 "deadline_s": 60 + index},  # distinct: defeat the LRU
+            )
+            assert status == 202
+            admitted.append(doc["id"])
+        status, headers, doc = handle.post(
+            "/v1/run",
+            {"scene": "SHIP", "technique": "baseline", "scale": "smoke"},
+        )
+        assert status == 429
+        assert "Retry-After" in headers
+        assert int(headers["Retry-After"]) >= 1
+        assert "queue full" in doc["error"]
+        _status, _headers, metrics = handle.get("/metrics")
+        assert metrics["metrics"]["counters"]["serve.shed_total"] == 1
+        # Draining the queue makes room again.
+        handle.call_soon(handle.service.scheduler.resume)
+        for job_id in admitted:
+            handle.wait_for_state(job_id, ("done",))
+        status, _headers, doc = handle.post(
+            "/v1/run?wait=1",
+            {"scene": "SHIP", "technique": "baseline", "scale": "smoke"},
+        )
+        assert status == 200 and doc["state"] == "done"
+
+    def test_draining_service_rejects_submissions_with_503(
+        self, serve_factory
+    ):
+        handle = serve_factory()
+        handle.service._draining = True  # flag flip; no teardown race
+        status, headers, doc = handle.post(
+            "/v1/run", {"scene": "WKND", "scale": "smoke"}
+        )
+        assert status == 503
+        assert "Retry-After" in headers
+        assert "draining" in doc["error"]
+        handle.service._draining = False
+
+
+class TestDeadlinesAndCancellation:
+    def test_expired_deadline_times_out_without_wedging(self, serve_factory):
+        handle = serve_factory(start_paused=True)
+        status, _headers, doc = handle.post(
+            "/v1/run",
+            {"scene": "WKND", "technique": "baseline", "scale": "smoke",
+             "deadline_s": 0.05},
+        )
+        assert status == 202
+        job_id = doc["id"]
+        time.sleep(0.1)  # deadline passes while the job is still queued
+        _status, _headers, doc = handle.get(f"/v1/jobs/{job_id}")
+        assert doc["state"] == "timeout"
+        assert doc["error"] == "deadline exceeded"
+        # The scheduler and pool are fine: the next job runs normally.
+        handle.call_soon(handle.service.scheduler.resume)
+        status, _headers, doc = handle.post(
+            "/v1/run?wait=1",
+            {"scene": "WKND", "technique": "baseline", "scale": "smoke"},
+        )
+        assert status == 200 and doc["state"] == "done"
+
+    def test_wait_on_expired_deadline_returns_timeout_state(
+        self, serve_factory
+    ):
+        handle = serve_factory(start_paused=True)
+        status, _headers, doc = handle.post(
+            "/v1/run?wait=1",
+            {"scene": "SHIP", "technique": "baseline", "scale": "smoke",
+             "deadline_s": 0.05},
+        )
+        assert status == 200
+        assert doc["state"] == "timeout"
+
+    def test_cancel_queued_job(self, serve_factory):
+        handle = serve_factory(start_paused=True)
+        _status, _headers, doc = handle.post(
+            "/v1/run",
+            {"scene": "WKND", "technique": "baseline", "scale": "smoke"},
+        )
+        job_id = doc["id"]
+        status, _headers, doc = handle.post(f"/v1/jobs/{job_id}/cancel", {})
+        assert status == 200
+        assert doc["state"] == "cancelled"
+        # Cancelling a terminal job is a no-op, not an error.
+        status, _headers, doc = handle.post(f"/v1/jobs/{job_id}/cancel", {})
+        assert status == 200 and doc["state"] == "cancelled"
+
+
+class TestDrain:
+    def test_in_process_drain_finishes_queued_jobs(self, serve_factory):
+        handle = serve_factory(start_paused=True)
+        ids = []
+        for scene in ("WKND", "SHIP"):
+            _status, _headers, doc = handle.post(
+                "/v1/run",
+                {"scene": scene, "technique": "baseline", "scale": "smoke"},
+            )
+            ids.append(doc["id"])
+        port = handle.port  # the property is gone once the server closes
+        # begin_drain resumes a paused scheduler, finishes the queue,
+        # then closes the listener.
+        handle.call(handle.service.begin_drain(), timeout=60)
+        for job_id in ids:
+            job = handle.service.jobs[job_id]
+            assert job.state == "done"
+            assert job.result is not None
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=2
+            )
+
+    def test_sigterm_drains_and_exits_cleanly(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src")
+        env.pop("REPRO_CACHE_DIR", None)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--no-cache"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            cwd=str(tmp_path),
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "listening on" in line, line
+            port = int(line.rsplit(":", 1)[1])
+            payload = json.dumps({
+                "scene": "WKND", "technique": "baseline", "scale": "smoke",
+            }).encode()
+            req = urllib.request.Request(
+                f"http://127.0.0.1:{port}/v1/run", data=payload,
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                assert resp.status == 202
+            proc.send_signal(signal.SIGTERM)  # drain: finish the job, exit 0
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "drained cleanly" in out
+
+
+class TestHttpSurface:
+    def test_healthz_shape(self, serve_factory):
+        handle = serve_factory()
+        status, _headers, doc = handle.get("/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["state"] == "serving"
+        assert doc["queue_depth"] == 0
+        assert "result_cache" in doc
+
+    def test_metrics_shape(self, serve_factory):
+        handle = serve_factory()
+        handle.post("/v1/run?wait=1",
+                    {"scene": "WKND", "technique": "baseline",
+                     "scale": "smoke"})
+        status, _headers, doc = handle.get("/metrics")
+        assert status == 200
+        assert doc["schema"] == "repro.serve_metrics/1"
+        counters = doc["metrics"]["counters"]
+        assert counters["serve.requests_total"] >= 1
+        assert counters["serve.jobs_done"] >= 1
+        assert "serve.latency_ms" in doc["metrics"]["histograms"]
+
+    def test_unknown_job_is_404(self, serve_factory):
+        handle = serve_factory()
+        status, _headers, doc = handle.get("/v1/jobs/nope")
+        assert status == 404
+
+    def test_unknown_route_is_404(self, serve_factory):
+        handle = serve_factory()
+        status, _headers, _doc = handle.get("/v2/run")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, serve_factory):
+        handle = serve_factory()
+        status, _headers, _doc = handle.get("/v1/run")
+        assert status == 405
+
+    def test_bad_scene_is_400(self, serve_factory):
+        handle = serve_factory()
+        status, _headers, doc = handle.post("/v1/run", {"scene": "CITY17"})
+        assert status == 400
+        assert "unknown scene" in doc["error"]
+
+    def test_bad_technique_suggests_near_miss(self, serve_factory):
+        handle = serve_factory()
+        status, _headers, doc = handle.post(
+            "/v1/run", {"scene": "WKND", "technique": "treelet-prefech"}
+        )
+        assert status == 400
+        assert "did you mean 'treelet-prefetch'" in doc["error"]
+
+    def test_malformed_json_is_400(self, serve_factory):
+        handle = serve_factory()
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{handle.port}/v1/run",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestLoadgen:
+    def test_open_loop_loadgen_all_ok(self, serve_factory):
+        handle = serve_factory()
+        report = run_loadgen(LoadGenConfig(
+            host="127.0.0.1",
+            port=handle.port,
+            qps=100.0,
+            requests=12,
+            mix=(RequestTemplate(scene="WKND", technique="baseline",
+                                 scale="smoke"),),
+            seed=7,
+        ))
+        summary = report.summary()
+        assert summary["requests"] == 12
+        assert summary["ok"] == 12
+        assert summary["shed"] == 0
+        assert summary["errors"] == 0
+        assert summary["cached"] >= 10  # one cold run, the rest LRU hits
+        assert summary["latency_p50_s"] <= summary["latency_p99_s"]
+        assert summary["throughput_rps"] > 0
+
+    def test_report_percentiles_nearest_rank(self):
+        report = LoadReport(offered_qps=1.0)
+        report.outcomes = [
+            RequestOutcome(index=i, offset_s=0.0, status=200,
+                           latency_s=float(i + 1), state="done")
+            for i in range(100)
+        ]
+        # Nearest rank over indices 0..99: round(0.5 * 99) = 50 -> 51.0.
+        assert report.percentile(0.50) == pytest.approx(51.0)
+        assert report.percentile(0.99) == pytest.approx(99.0)
+        assert report.percentile(1.0) == pytest.approx(100.0)
+        assert report.percentile(0.0) == pytest.approx(1.0)
+
+
+class TestResultLRU:
+    def test_eviction_is_strict_lru(self):
+        lru = ResultLRU(capacity=2)
+        lru.put(("a",), {"v": 1})
+        lru.put(("b",), {"v": 2})
+        assert lru.get(("a",)) == {"v": 1}  # refresh a
+        lru.put(("c",), {"v": 3})  # evicts b
+        assert lru.get(("b",)) is None
+        assert lru.get(("a",)) == {"v": 1}
+        assert lru.get(("c",)) == {"v": 3}
+        assert lru.evictions == 1
+
+    def test_zero_capacity_never_stores(self):
+        lru = ResultLRU(capacity=0)
+        lru.put(("a",), {"v": 1})
+        assert lru.get(("a",)) is None
+        assert lru.info()["entries"] == 0

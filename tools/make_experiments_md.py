@@ -271,6 +271,15 @@ executor only relocates evaluations across worker processes, and every
 `SimStats` is bit-for-bit equal to the serial path (see
 `docs/execution.md`).
 
+The same invariance extends to the network path: results served by
+`repro serve` (the asyncio simulation service) are bit-identical to
+in-process `repro.api.run` calls, so any entry here could equally have
+been collected through the service. Serving-layer performance itself —
+cold vs warm-cached latency and open-loop QPS sweeps measured by
+`repro loadgen` with Poisson arrivals — is tracked separately in
+`BENCH_serve.json` (wall-clock, client-observed; see `docs/serving.md`)
+and never mixed into the paper-comparison numbers below.
+
 """
 
 

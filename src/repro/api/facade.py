@@ -31,6 +31,7 @@ from ..core.pipeline import (
     prewarm_traces,
 )
 from ..core.sweeps import SceneOutcome, SweepResult
+from ..obs.spans import span as _span
 from .techniques import parse_technique
 
 _SCALES_BY_NAME: Dict[str, Scale] = {
@@ -171,14 +172,20 @@ def run(
             resolved_technique.formation,
             backend=request.trace_backend,
         )
-    experiment = _run_experiment(
-        request.scene,
-        resolved_technique,
-        resolved_scale,
-        gpu_config=request.gpu_config,
-        use_cache=request.cache,
-        observer=request.observer,
-    )
+    with _span(
+        "api.run",
+        scene=request.scene,
+        technique=resolved_technique.label(),
+        scale=resolved_scale.name,
+    ):
+        experiment = _run_experiment(
+            request.scene,
+            resolved_technique,
+            resolved_scale,
+            gpu_config=request.gpu_config,
+            use_cache=request.cache,
+            observer=request.observer,
+        )
     return RunResult(
         scene=request.scene,
         technique=resolved_technique,
@@ -209,29 +216,36 @@ def sweep(
     base = _coerce_technique(baseline)
     resolved_scale = _coerce_scale(scale)
     scene_list = list(scenes) if scenes is not None else _default_scenes()
-    if jobs > 1 and scene_list:
-        from ..exec.executor import prewarm_results
+    with _span(
+        "api.sweep",
+        technique=resolved.label(),
+        scale=resolved_scale.name,
+        scenes=len(scene_list),
+        jobs=jobs,
+    ):
+        if jobs > 1 and scene_list:
+            from ..exec.executor import prewarm_results
 
-        prewarm_results(
-            [base, resolved], scene_list, resolved_scale,
-            jobs=jobs, progress=progress,
-        )
-    elif scene_list:
-        prewarm_traces(
-            [
-                (scene, candidate)
-                for scene in scene_list
-                for candidate in (base, resolved)
-            ],
-            resolved_scale,
-        )
-    result = SweepResult(technique=resolved)
-    for scene in scene_list:
-        result.outcomes[scene] = SceneOutcome(
-            scene=scene,
-            baseline=_run_experiment(scene, base, resolved_scale),
-            candidate=_run_experiment(scene, resolved, resolved_scale),
-        )
+            prewarm_results(
+                [base, resolved], scene_list, resolved_scale,
+                jobs=jobs, progress=progress,
+            )
+        elif scene_list:
+            prewarm_traces(
+                [
+                    (scene, candidate)
+                    for scene in scene_list
+                    for candidate in (base, resolved)
+                ],
+                resolved_scale,
+            )
+        result = SweepResult(technique=resolved)
+        for scene in scene_list:
+            result.outcomes[scene] = SceneOutcome(
+                scene=scene,
+                baseline=_run_experiment(scene, base, resolved_scale),
+                candidate=_run_experiment(scene, resolved, resolved_scale),
+            )
     return result
 
 

@@ -18,6 +18,11 @@ Commands:
   ``docs/serving.md``).
 * ``loadgen`` — open-loop Poisson load generator against a running
   service; prints latency percentiles, throughput, and shed rate.
+* ``obs`` — operate on ``repro.spans/1`` span files offline:
+  ``merge`` several into one, ``export`` them as Perfetto/Chrome
+  trace JSON, ``summarize`` per-phase wall/CPU totals (optionally as
+  a ``repro.bench/1`` document).  ``run``/``sweep`` take ``--spans
+  PATH`` to record such a file for the invocation.
 
 ``run`` and ``sweep`` take ``--json`` (machine-readable SimStats on
 stdout) and ``--report PATH`` (structured ``run_report.json`` with
@@ -222,7 +227,27 @@ def _write_report(path, scene, technique, scale, result, observer) -> None:
     write_run_report(path, report)
 
 
+def _with_spans(args: argparse.Namespace, fn) -> int:
+    """Run ``fn`` with span collection when ``--spans PATH`` was given;
+    the recorded spans land in a ``repro.spans/1`` file at PATH."""
+    path = getattr(args, "spans", None)
+    if not path:
+        return fn()
+    from .obs import collect, write_spans
+
+    with collect(process="cli") as collector:
+        code = fn()
+    out = write_spans(path, collector.snapshot())
+    print(f"wrote {len(collector.snapshot())} span(s) to {out}",
+          file=sys.stderr)
+    return code
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    return _with_spans(args, lambda: _cmd_run_impl(args))
+
+
+def _cmd_run_impl(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     technique = _technique_from_args(args)
     _activate_cache(args)
@@ -266,6 +291,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    return _with_spans(args, lambda: _cmd_sweep_impl(args))
+
+
+def _cmd_sweep_impl(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     technique = _technique_from_args(args)
     scenes = args.scenes or list(ALL_SCENES)
@@ -491,6 +520,69 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if summary["errors"] == 0 else 1
 
 
+def _load_span_inputs(paths):
+    from .obs import load_spans, merge_spans
+
+    loaded = []
+    for path in paths:
+        try:
+            loaded.append(load_spans(path))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(1)
+    return merge_spans(*loaded)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import (
+        spans_to_bench,
+        spans_to_chrome_trace,
+        summarize_spans,
+        write_spans,
+    )
+
+    spans = _load_span_inputs(args.inputs)
+    if args.obs_command == "merge":
+        out = write_spans(args.out, spans)
+        traces = len({s.trace_id for s in spans})
+        print(f"merged {len(spans)} span(s) across {traces} trace(s) "
+              f"-> {out}")
+        return 0
+    if args.obs_command == "export":
+        from pathlib import Path
+
+        doc = spans_to_chrome_trace(spans)
+        out = Path(args.out)
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True))
+        print(f"wrote {out} — open in https://ui.perfetto.dev "
+              "or chrome://tracing")
+        return 0
+    # summarize
+    summary = summarize_spans(spans)
+    if args.bench:
+        from pathlib import Path
+
+        bench = spans_to_bench(spans, scale=args.scale)
+        Path(args.bench).write_text(
+            json.dumps(bench, indent=2, sort_keys=True)
+        )
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(banner(f"span summary: {len(spans)} span(s)"))
+        rows = [
+            [name, entry["count"],
+             f"{entry['wall_s'] * 1000:.1f}",
+             f"{entry['cpu_s'] * 1000:.1f}"]
+            for name, entry in summary.items()
+        ]
+        print(format_table(["span", "count", "wall ms", "cpu ms"], rows))
+    if args.bench:
+        print(f"wrote repro.bench/1 document to {args.bench}",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     scene = build_scene(args.scene, scale.scene_scale)
@@ -538,6 +630,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print machine-readable SimStats JSON")
     run.add_argument("--report",
                      help="write a structured run_report.json here")
+    run.add_argument("--spans", metavar="PATH",
+                     help="record phase spans (repro.spans/1) here")
     _add_technique_args(run)
     _add_cache_args(run)
     _add_backend_args(run)
@@ -552,6 +646,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=_positive_int, default=1,
                        help="evaluate scenes across N worker processes "
                             "(results identical to --jobs 1)")
+    sweep.add_argument("--spans", metavar="PATH",
+                       help="record phase spans (repro.spans/1) here")
     _add_technique_args(sweep)
     _add_cache_args(sweep)
     _add_backend_args(sweep)
@@ -631,6 +727,33 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--json", action="store_true",
                          help="print the machine-readable summary")
 
+    obs = sub.add_parser(
+        "obs", help="merge/export/summarize repro.spans/1 span files"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_merge = obs_sub.add_parser(
+        "merge", help="merge span files into one deterministic timeline"
+    )
+    obs_merge.add_argument("inputs", nargs="+", metavar="SPANS_JSON")
+    obs_merge.add_argument("--out", default="spans.json",
+                           help="merged repro.spans/1 output path")
+    obs_export = obs_sub.add_parser(
+        "export", help="export span files as Perfetto/Chrome trace JSON"
+    )
+    obs_export.add_argument("inputs", nargs="+", metavar="SPANS_JSON")
+    obs_export.add_argument("--out", default="spans_trace.json",
+                            help="Chrome trace-event output path")
+    obs_summarize = obs_sub.add_parser(
+        "summarize", help="per-span-name wall/CPU totals"
+    )
+    obs_summarize.add_argument("inputs", nargs="+", metavar="SPANS_JSON")
+    obs_summarize.add_argument("--json", action="store_true",
+                               help="print the summary as JSON")
+    obs_summarize.add_argument("--bench", metavar="PATH",
+                               help="also write a repro.bench/1 document")
+    obs_summarize.add_argument("--scale", default="default",
+                               help="scale label stamped into --bench")
+
     rend = sub.add_parser("render", help="render a scene frame")
     rend.add_argument("scene", choices=list(ALL_SCENES))
     rend.add_argument("--scale", choices=list(_SCALES), default="default")
@@ -657,6 +780,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "obs": _cmd_obs,
 }
 
 

@@ -40,6 +40,7 @@ from ..prefetch import (
     TreeletAddressMap,
     TreeletPrefetcher,
 )
+from ..obs.spans import span as _span
 from ..scenes import RayGenConfig, build_scene, generate_rays
 from ..traversal import (
     DEFERRED_ORDERS,
@@ -722,41 +723,49 @@ def _run_experiment(
     sees a real simulation; attaching it does not change the results).
     """
     cache_key = (scene_name, technique, scale.name)
-    if (
-        use_cache
-        and gpu_config is None
-        and observer is None
-        and cache_key in _RESULT_CACHE
-    ):
+    memoizable = use_cache and gpu_config is None and observer is None
+    with _span(
+        "phase.cache_lookup", scene=scene_name, technique=technique.label()
+    ) as lookup:
+        hit = memoizable and cache_key in _RESULT_CACHE
+        if lookup is not None:
+            lookup.args["hit"] = hit
+    if hit:
         return _RESULT_CACHE[cache_key]
     gpu = gpu_config or scale.gpu_config()
-    bvh = get_bvh(scene_name, scale)
-    decomposition = (
-        get_decomposition(
-            scene_name, scale, technique.treelet_bytes, technique.formation
+    with _span("phase.scene_build", scene=scene_name, scale=scale.name):
+        bvh = get_bvh(scene_name, scale)
+        decomposition = (
+            get_decomposition(
+                scene_name, scale, technique.treelet_bytes,
+                technique.formation,
+            )
+            if technique.uses_treelets
+            else None
         )
-        if technique.uses_treelets
-        else None
-    )
-    layout = _build_layout(technique, bvh, decomposition)
-    traces = get_traces(
-        scene_name,
-        scale,
-        technique.traversal,
-        technique.treelet_bytes,
-        technique.deferred_order,
-        technique.formation,
-    )
-    model = GpuModel(
-        gpu,
-        scheduler_policy=technique.scheduler,
-        prefetcher_factory=_prefetcher_factory(
-            technique, gpu, layout, decomposition
-        ),
-        observer=observer,
-    )
-    model.load(traces, bvh, layout)
-    stats = model.run()
+        layout = _build_layout(technique, bvh, decomposition)
+    with _span("phase.trace", scene=scene_name, scale=scale.name):
+        traces = get_traces(
+            scene_name,
+            scale,
+            technique.traversal,
+            technique.treelet_bytes,
+            technique.deferred_order,
+            technique.formation,
+        )
+    with _span(
+        "phase.replay", scene=scene_name, technique=technique.label()
+    ):
+        model = GpuModel(
+            gpu,
+            scheduler_policy=technique.scheduler,
+            prefetcher_factory=_prefetcher_factory(
+                technique, gpu, layout, decomposition
+            ),
+            observer=observer,
+        )
+        model.load(traces, bvh, layout)
+        stats = model.run()
     result = ExperimentResult(
         scene=scene_name,
         technique=technique,
@@ -766,7 +775,7 @@ def _run_experiment(
         tree=compute_tree_stats(bvh),
         treelet_count=decomposition.treelet_count if decomposition else 0,
     )
-    if use_cache and gpu_config is None and observer is None:
+    if memoizable:
         _RESULT_CACHE[cache_key] = result
     return result
 

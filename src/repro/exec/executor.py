@@ -38,6 +38,7 @@ from ..core.pipeline import (
     Technique,
     _run_experiment,
 )
+from ..obs import spans as _spans
 from .cache import get_artifact_cache, set_artifact_cache
 
 
@@ -72,6 +73,9 @@ class ExecutionReport:
     progress_errors: int = 0
     pool_broken: bool = False
     sources: Dict[str, int] = field(default_factory=dict)
+    #: Serialized spans shipped back from pool workers (repro.obs.spans
+    #: dicts); populated only when a span context was active at submit.
+    spans: List[dict] = field(default_factory=list)
 
     def note(self, source: str) -> None:
         self.completed += 1
@@ -91,6 +95,36 @@ def _init_worker(cache_dir: Optional[str]) -> None:
 def _run_job(job: Job) -> ExperimentResult:
     """Evaluate one job (top-level so it pickles into workers)."""
     return _run_experiment(job.scene, job.technique, job.scale)
+
+
+def _job_span_args(job: Job, worker: str) -> dict:
+    return {
+        "scene": job.scene,
+        "technique": job.technique.label(),
+        "scale": job.scale.name,
+        "worker": worker,
+    }
+
+
+def _run_job_traced(job: Job, ctx_dict: dict):
+    """Evaluate one job in a worker *with span collection*.
+
+    A fresh collector is activated (shadowing any span state inherited
+    across ``fork``), the caller's :class:`~repro.obs.SpanContext`
+    parents the worker's ``exec.job`` span so its trace_id threads
+    through, and the finished spans ship back serialized alongside the
+    result — the caller folds them into :attr:`ExecutionReport.spans`.
+    """
+    collector = _spans.SpanCollector(process="worker")
+    token = _spans.activate(
+        collector, _spans.SpanContext.from_dict(ctx_dict)
+    )
+    try:
+        with _spans.span("exec.job", **_job_span_args(job, "pool")):
+            result = _run_job(job)
+    finally:
+        _spans.deactivate(token)
+    return result, collector.to_dicts()
 
 
 def _mp_context():
@@ -156,6 +190,22 @@ def execute_jobs(
             unique.append(job)
     report.submitted = len(unique)
 
+    # Span plumbing: with an ambient span context and the stock job
+    # function, pool jobs run the traced wrapper (worker spans ship
+    # back inside the result tuple) and in-process jobs record straight
+    # into the ambient collector.
+    collector = _spans.active_collector()
+    context = _spans.current_context()
+    traced = (
+        job_fn is _run_job and collector is not None and context is not None
+    )
+
+    def local_run(job: Job) -> ExperimentResult:
+        if not traced:
+            return job_fn(job)
+        with _spans.span("exec.job", **_job_span_args(job, "inprocess")):
+            return _run_job(job)
+
     def announce(done: int, job: Job, source: str) -> None:
         report.note(source)
         for callback in callbacks:
@@ -171,9 +221,14 @@ def execute_jobs(
     results: Dict[tuple, ExperimentResult] = {}
     if workers <= 1 or len(unique) <= 1:
         for index, job in enumerate(unique):
-            results[job.key()] = job_fn(job)
+            results[job.key()] = local_run(job)
             announce(index + 1, job, "inprocess")
         return [results[job.key()] for job in jobs]
+
+    def pool_submit(job: Job):
+        if traced:
+            return pool.submit(_run_job_traced, job, context.to_dict())
+        return pool.submit(job_fn, job)
 
     ctx = _mp_context()
     pool = ProcessPoolExecutor(
@@ -184,7 +239,7 @@ def execute_jobs(
     )
     pool_healthy = True
     try:
-        futures = {job.key(): pool.submit(job_fn, job) for job in unique}
+        futures = {job.key(): pool_submit(job) for job in unique}
         done = 0
         for job in unique:
             result = None
@@ -211,7 +266,7 @@ def execute_jobs(
                         report.retried += 1
                         source = "pool-retry"
                         try:
-                            future = pool.submit(job_fn, job)
+                            future = pool_submit(job)
                         except Exception:
                             pool_healthy = False
                             break
@@ -219,8 +274,12 @@ def execute_jobs(
                     break
             if result is None:
                 # Graceful fallback: evaluate here, in this process.
-                result = job_fn(job)
+                result = local_run(job)
                 source = "inprocess"
+            elif traced:
+                result, shipped = result
+                report.spans.extend(shipped)
+                collector.add_dicts(shipped)
             results[job.key()] = result
             done += 1
             announce(done, job, source)

@@ -50,6 +50,8 @@ from .metrics import (
     Histogram,
     LATENCY_BUCKETS,
     MetricRegistry,
+    nearest_rank,
+    prometheus_name,
 )
 from .observer import DEFAULT_SAMPLE_INTERVAL, Observer, TIMELINESS_BUCKETS
 from .perfetto import to_chrome_trace, write_chrome_trace
@@ -59,6 +61,25 @@ from .report import (
     load_run_report,
     simstats_to_dict,
     write_run_report,
+)
+from .spans import (
+    SPAN_SCHEMA,
+    Span,
+    SpanCollector,
+    SpanContext,
+    activate,
+    active_collector,
+    collect,
+    current_context,
+    deactivate,
+    load_spans,
+    merge_spans,
+    new_id,
+    span,
+    spans_to_bench,
+    spans_to_chrome_trace,
+    summarize_spans,
+    write_spans,
 )
 
 __all__ = [
@@ -84,15 +105,34 @@ __all__ = [
     "MetricRegistry",
     "Observer",
     "REPORT_SCHEMA",
+    "SPAN_SCHEMA",
+    "Span",
+    "SpanCollector",
+    "SpanContext",
     "TIMELINESS_BUCKETS",
     "TraceBus",
     "TraceEvent",
+    "activate",
+    "active_collector",
     "build_run_report",
+    "collect",
+    "current_context",
+    "deactivate",
     "dram_track",
     "load_run_report",
+    "load_spans",
+    "merge_spans",
+    "nearest_rank",
+    "new_id",
+    "prometheus_name",
     "rt_track",
     "simstats_to_dict",
     "sm_track",
+    "span",
+    "spans_to_bench",
+    "spans_to_chrome_trace",
+    "summarize_spans",
     "to_chrome_trace",
     "write_chrome_trace",
+    "write_spans",
 ]

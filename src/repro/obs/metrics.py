@@ -13,11 +13,29 @@ This module is deliberately dependency-free so every layer (including
 
 from __future__ import annotations
 
+import math
+import re
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Default bucket upper bounds for cycle-latency histograms.  The last
 #: implicit bucket catches everything above the final bound.
 LATENCY_BUCKETS: Tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def nearest_rank(sorted_values: Sequence[float], fraction: float) -> float:
+    """The nearest-rank quantile of an ascending-sorted sequence.
+
+    ``rank = ceil(fraction * n)`` clamped to ``[1, n]`` — the classical
+    definition: the smallest value such that at least ``fraction`` of
+    the data is <= it.  Every percentile in the repo (loadgen latency
+    summaries, histogram quantiles) goes through this one function so
+    they can never disagree.  Empty input returns 0.0.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    rank = min(max(int(math.ceil(fraction * n)), 1), n)
+    return float(sorted_values[rank - 1])
 
 
 class Counter:
@@ -58,7 +76,16 @@ class Gauge:
         return sum(self.values) / len(self.values) if self.values else 0.0
 
     def as_dict(self) -> dict:
-        return {"cycles": list(self.cycles), "values": list(self.values)}
+        # Empty series mirror Histogram.as_dict: aggregate fields are
+        # None rather than synthetic zeros, so golden diffs are stable.
+        empty = not self.values
+        return {
+            "cycles": list(self.cycles),
+            "values": list(self.values),
+            "count": len(self.values),
+            "last": None if empty else self.values[-1],
+            "mean": None if empty else self.mean(),
+        }
 
 
 class Histogram:
@@ -103,13 +130,33 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, fraction: float) -> float:
+        """Nearest-rank quantile estimated from the buckets.
+
+        The answer is the upper bound of the bucket holding the
+        nearest-rank observation (buckets quantize: a histogram whose
+        bounds enumerate every distinct recorded value reproduces
+        :func:`nearest_rank` on the raw data exactly — pinned by
+        ``tests/test_obs.py``).  Overflow-bucket ranks return the true
+        recorded maximum; an empty histogram returns 0.0.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = min(max(int(math.ceil(fraction * self.count)), 1), self.count)
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            cumulative += self.counts[index]
+            if rank <= cumulative:
+                return float(bound)
+        return float(self.max)
+
     def as_dict(self) -> dict:
         return {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
             "count": self.count,
             "total": self.total,
-            "mean": self.mean,
+            "mean": None if self.count == 0 else self.mean,
             "min": self.min,
             "max": self.max,
         }
@@ -144,7 +191,11 @@ class MetricRegistry:
         return metric
 
     def as_dict(self) -> dict:
-        """The registry as plain JSON-serializable data (report schema)."""
+        """The registry as plain JSON-serializable data (report schema).
+
+        Keys are emitted in sorted order at every level so report diffs
+        and golden tests are byte-stable across runs.
+        """
         return {
             "counters": {
                 name: metric.value
@@ -159,3 +210,63 @@ class MetricRegistry:
                 for name, metric in sorted(self.histograms.items())
             },
         }
+
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """The registry in Prometheus text exposition format 0.0.4.
+
+        Counters export as ``counter``, gauges as their last sampled
+        value (``gauge``), and histograms as the standard cumulative
+        ``_bucket{le="..."}`` / ``_sum`` / ``_count`` triple with an
+        explicit ``+Inf`` bucket.  Families are sorted by name and the
+        output ends with a newline, as scrapers expect.
+        """
+        lines: List[str] = []
+
+        for name, counter in sorted(self.counters.items()):
+            metric = prometheus_name(prefix + name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(counter.value)}")
+
+        for name, gauge in sorted(self.gauges.items()):
+            metric = prometheus_name(prefix + name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(gauge.last)}")
+
+        for name, hist in sorted(self.histograms.items()):
+            metric = prometheus_name(prefix + name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for index, bound in enumerate(hist.bounds):
+                cumulative += hist.counts[index]
+                lines.append(
+                    f'{metric}_bucket{{le="{_format_value(bound)}"}}'
+                    f" {cumulative}"
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{metric}_sum {_format_value(hist.total)}")
+            lines.append(f"{metric}_count {hist.count}")
+
+        return "\n".join(lines) + "\n"
+
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Mangle a registry name into a legal Prometheus metric name."""
+    mangled = _INVALID_METRIC_CHARS.sub("_", name)
+    if mangled and mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def _format_value(value: float) -> str:
+    """Render numbers the way Prometheus clients do (ints bare)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)

@@ -25,6 +25,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import nearest_rank
+
 
 @dataclass(frozen=True)
 class RequestTemplate:
@@ -88,13 +90,10 @@ class LoadReport:
         return sorted(o.latency_s for o in self.outcomes if o.ok)
 
     def percentile(self, fraction: float) -> float:
-        """Nearest-rank percentile over successful-request latencies."""
-        latencies = self.latencies()
-        if not latencies:
-            return 0.0
-        rank = max(0, min(len(latencies) - 1,
-                          int(round(fraction * (len(latencies) - 1)))))
-        return latencies[rank]
+        """Nearest-rank percentile over successful-request latencies
+        (delegates to :func:`repro.obs.metrics.nearest_rank` — the one
+        percentile definition the whole repo shares)."""
+        return nearest_rank(self.latencies(), fraction)
 
     def summary(self) -> dict:
         total = len(self.outcomes)

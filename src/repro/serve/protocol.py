@@ -295,6 +295,11 @@ class JobRecord:
     cached: bool = False
     cancel_requested: bool = False
     done_event: Optional[object] = None  # asyncio.Event, set by the service
+    trace_id: Optional[str] = None  # repro.obs.spans trace for this request
+    span_id: Optional[str] = None  # the request's root span
+    #: Callbacks invoked exactly once on the first terminal transition
+    #: (the service closes the request's root span here).
+    finalizers: List = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.deadline is None and self.spec.deadline_s is not None:
@@ -324,6 +329,14 @@ class JobRecord:
         self.result = result
         self.error = error
         self.finished = time.monotonic()
+        finalizers, self.finalizers = list(self.finalizers), []
+        for finalizer in finalizers:
+            # Finalizers are observability hooks; they must never block
+            # the state transition or the done_event wakeup.
+            try:
+                finalizer(self)
+            except Exception:  # noqa: BLE001 — observer isolation
+                pass
         if self.done_event is not None:
             self.done_event.set()
 
@@ -348,6 +361,8 @@ class JobRecord:
             "created_unix": self.created_unix,
             "cached": self.cached,
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
         if self.queue_wait_s is not None:
             doc["queue_wait_s"] = self.queue_wait_s
         if self.latency_s is not None:

@@ -31,6 +31,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional
 
+from ..obs import spans as _sp
 from . import protocol
 from .protocol import JobRecord
 
@@ -49,6 +50,7 @@ class MicroBatchScheduler:
         result_cache=None,
         job_timeout: Optional[float] = None,
         start_paused: bool = False,
+        spans: Optional[_sp.SpanCollector] = None,
     ) -> None:
         self.queue = queue
         self.workers = max(1, int(workers))
@@ -57,6 +59,7 @@ class MicroBatchScheduler:
         self.metrics = metrics
         self.result_cache = result_cache
         self.job_timeout = job_timeout
+        self.spans = spans
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-batch"
         )
@@ -189,49 +192,131 @@ class MicroBatchScheduler:
             self.metrics.histogram(
                 "serve.batch_size", bounds=(1, 2, 4, 8, 16, 32, 64)
             ).record(len(runnable))
+        batch_span, batch_ctx = self._open_batch_span(runnable)
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(
-            self._executor, self._execute_batch, runnable, loop
+        try:
+            await loop.run_in_executor(
+                self._executor, self._execute_batch, runnable, loop,
+                batch_ctx,
+            )
+        finally:
+            if batch_span is not None:
+                self.spans.end(batch_span)
+
+    def _open_batch_span(self, runnable: List[JobRecord]):
+        """One ``serve.batch`` span per dispatched batch.
+
+        A single-request batch joins that request's trace directly
+        (its span parents the batch).  A mixed batch gets its own
+        trace_id with the member requests linked through ``args`` —
+        one batch cannot belong to several trace trees at once.
+        """
+        if self.spans is None:
+            return None, None
+        trace_ids = {job.trace_id for job in runnable if job.trace_id}
+        parent = None
+        if len(trace_ids) == 1:
+            trace_id = next(iter(trace_ids))
+            roots = {job.span_id for job in runnable if job.span_id}
+            if len(roots) == 1:
+                parent = _sp.SpanContext(trace_id, next(iter(roots)))
+        else:
+            trace_id = _sp.new_id()
+        batch_span = self.spans.begin(
+            "serve.batch",
+            parent=parent,
+            trace_id=trace_id,
+            args={
+                "jobs": len(runnable),
+                "links": [
+                    {
+                        "job": job.id,
+                        "trace_id": job.trace_id,
+                        "span_id": job.span_id,
+                    }
+                    for job in runnable
+                ],
+            },
         )
+        # Synthesize each member's queue wait (monotonic -> unix).
+        offset = time.time() - time.monotonic()
+        for job in runnable:
+            if job.trace_id and job.started is not None:
+                self.spans.record(
+                    "queue.wait",
+                    job.submitted + offset,
+                    job.started + offset,
+                    parent=_sp.SpanContext(job.trace_id, job.span_id),
+                    args={"job": job.id},
+                )
+        return batch_span, batch_span.context
 
     # ------------------------------------------------------------------
     # Batch execution (worker thread — computes only, never mutates
     # job records directly).
     # ------------------------------------------------------------------
 
-    def _execute_batch(self, batch: List[JobRecord], loop) -> None:
-        self._prewarm(batch)
-        if self.workers > 1:
-            self._prewarm_pool(batch)
-        for job in batch:
-            if job.cancel_requested:
-                loop.call_soon_threadsafe(
-                    self._finalize, job, protocol.CANCELLED, None,
-                    "cancelled by client",
-                )
-                continue
-            if job.expired():
-                loop.call_soon_threadsafe(
-                    self._finalize, job, protocol.TIMEOUT, None,
-                    "deadline exceeded",
-                )
-                continue
-            try:
-                result = job.spec.evaluate()
-                state, error = protocol.DONE, None
+    def _execute_batch(
+        self, batch: List[JobRecord], loop, batch_ctx=None
+    ) -> None:
+        token = None
+        if self.spans is not None and batch_ctx is not None:
+            # Prewarm work belongs to the batch; per-job work re-parents
+            # onto each request's root span below.
+            token = _sp.activate(self.spans, batch_ctx)
+        try:
+            with _sp.span("batch.prewarm"):
+                self._prewarm(batch)
+            if self.workers > 1:
+                with _sp.span("batch.prewarm_pool", workers=self.workers):
+                    self._prewarm_pool(batch)
+            for job in batch:
+                if job.cancel_requested:
+                    loop.call_soon_threadsafe(
+                        self._finalize, job, protocol.CANCELLED, None,
+                        "cancelled by client",
+                    )
+                    continue
                 if job.expired():
-                    # Finished, but past its deadline: report timeout —
-                    # the caller stopped waiting — while the warm result
-                    # still seeds the caches for the next request.
-                    state, error = protocol.TIMEOUT, "deadline exceeded"
+                    loop.call_soon_threadsafe(
+                        self._finalize, job, protocol.TIMEOUT, None,
+                        "deadline exceeded",
+                    )
+                    continue
+                job_token = None
+                if (
+                    self.spans is not None
+                    and job.trace_id
+                    and job.span_id
+                ):
+                    job_token = _sp.activate(
+                        self.spans,
+                        _sp.SpanContext(job.trace_id, job.span_id),
+                    )
+                try:
+                    with _sp.span("serve.execute", job=job.id):
+                        result = job.spec.evaluate()
+                    state, error = protocol.DONE, None
+                    if job.expired():
+                        # Finished, but past its deadline: report
+                        # timeout — the caller stopped waiting — while
+                        # the warm result still seeds the caches for
+                        # the next request.
+                        state, error = protocol.TIMEOUT, "deadline exceeded"
+                        result = None
+                except Exception as exc:  # noqa: BLE001 — job isolation
                     result = None
-            except Exception as exc:  # noqa: BLE001 — job isolation
-                result = None
-                state = protocol.FAILED
-                error = f"{type(exc).__name__}: {exc}"
-            loop.call_soon_threadsafe(
-                self._finalize, job, state, result, error
-            )
+                    state = protocol.FAILED
+                    error = f"{type(exc).__name__}: {exc}"
+                finally:
+                    if job_token is not None:
+                        _sp.deactivate(job_token)
+                loop.call_soon_threadsafe(
+                    self._finalize, job, state, result, error
+                )
+        finally:
+            if token is not None:
+                _sp.deactivate(token)
 
     def _prewarm(self, batch: List[JobRecord]) -> None:
         """One ``prewarm_traces`` call per scale: the whole batch's

@@ -39,6 +39,7 @@ from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..obs import MetricRegistry
+from ..obs import spans as _sp
 from . import protocol
 from .cache import ResultLRU
 from .protocol import JobRecord, ServeError
@@ -76,6 +77,11 @@ class SimulationService:
         self.config = config or ServeConfig()
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.cache = ResultLRU(self.config.cache_entries)
+        # One collector for the whole service: request root spans,
+        # scheduler batch spans, and spans shipped back from exec
+        # workers all merge here (GET /v1/jobs/<id>/trace reads it).
+        self.spans = _sp.SpanCollector(process="serve")
+        self._metrics_seq = 0
         # Loop-bound pieces (queue, scheduler, events) are created in
         # start(): Python 3.9 binds asyncio primitives to the current
         # event loop at construction time, and the service may be
@@ -120,6 +126,7 @@ class SimulationService:
             result_cache=self.cache,
             job_timeout=self.config.job_timeout_s,
             start_paused=self.config.start_paused,
+            spans=self.spans,
         )
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -177,6 +184,21 @@ class SimulationService:
         )
         if job.deadline is None and self.config.default_deadline_s:
             job.deadline = job.submitted + self.config.default_deadline_s
+        # Every admitted request gets a trace: the root "request" span
+        # opens here and closes on the job's first terminal transition
+        # (finalizers run on the event-loop thread, like all state
+        # changes).  Children — queue.wait, serve.batch, exec.job and
+        # the pipeline phases — parent onto it via SpanContext.
+        root = self.spans.begin(
+            "request", args={"job": job.id, **spec.describe()}
+        )
+        job.trace_id = root.trace_id
+        job.span_id = root.span_id
+        job.finalizers.append(
+            lambda record, root=root: self.spans.end(
+                root, state=record.state, cached=record.cached
+            )
+        )
         self.jobs[job.id] = job
         self._order.append(job.id)
         while len(self._order) > max(self.config.job_history, 1):
@@ -281,21 +303,35 @@ class SimulationService:
         return method.upper(), parts.path, query, payload
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       document: dict, headers: Optional[dict] = None) -> None:
+                       document, headers: Optional[dict] = None) -> None:
         reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
                    404: "Not Found", 405: "Method Not Allowed",
                    409: "Conflict", 413: "Payload Too Large",
                    429: "Too Many Requests", 500: "Internal Server Error",
                    503: "Service Unavailable"}
-        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        headers = dict(headers or {})
+        # A handler may override Content-Type (Prometheus exposition is
+        # text); pop it so the header is emitted exactly once.
+        content_type = None
+        for name in list(headers):
+            if name.lower() == "content-type":
+                content_type = headers.pop(name)
+        if isinstance(document, str):
+            body = document.encode("utf-8")
+            content_type = content_type or "text/plain; charset=utf-8"
+        else:
+            body = (
+                json.dumps(document, sort_keys=True) + "\n"
+            ).encode("utf-8")
+            content_type = content_type or "application/json"
         lines = [
             f"HTTP/1.1 {status} {reasons.get(status, 'Status')}",
             f"Server: {SERVER_NAME}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
-        for name, value in (headers or {}).items():
+        for name, value in headers.items():
             lines.append(f"{name}: {value}")
         writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
         try:
@@ -314,11 +350,7 @@ class SimulationService:
             snapshot["status"] = "ok"
             return 200, snapshot, {}
         if path == "/metrics" and method == "GET":
-            return 200, {
-                "schema": "repro.serve_metrics/1",
-                "snapshot": self._snapshot(),
-                "metrics": self.metrics.as_dict(),
-            }, {}
+            return self._metrics_response(query)
         if path == "/v1/run" and method == "POST":
             spec = protocol.normalize_run(payload or {})
             self.metrics.counter("serve.requests_run").inc()
@@ -328,22 +360,76 @@ class SimulationService:
             self.metrics.counter("serve.requests_sweep").inc()
             return await self._submit(spec, query, payload or {})
         if path.startswith("/v1/jobs/"):
-            return await self._route_jobs(method, path)
+            return await self._route_jobs(method, path, query)
         if path in ("/healthz", "/metrics", "/v1/run", "/v1/sweep"):
             raise ServeError(405, f"{method} not allowed on {path}")
         raise ServeError(404, f"no route for {path}")
 
-    async def _route_jobs(self, method: str,
-                          path: str) -> Tuple[int, dict, dict]:
+    def _metrics_response(self, query: dict) -> Tuple[int, object, dict]:
+        self._metrics_seq += 1
+        fmt = query.get("format", "json").strip().lower()
+        if fmt == "prometheus":
+            text = self.metrics.to_prometheus()
+            # Scrape metadata rides along as two extra series:
+            # snapshot_seq resets on restart, started_unix dates it.
+            text += (
+                "# TYPE repro_serve_snapshot_seq counter\n"
+                f"repro_serve_snapshot_seq {self._metrics_seq}\n"
+                "# TYPE repro_serve_started_unix gauge\n"
+                f"repro_serve_started_unix {self._started_unix or 0}\n"
+            )
+            return 200, text, {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+            }
+        if fmt != "json":
+            raise ServeError(
+                400, f"unknown metrics format {fmt!r} (json, prometheus)"
+            )
+        return 200, {
+            "schema": "repro.serve_metrics/1",
+            "snapshot_seq": self._metrics_seq,
+            "started_unix": self._started_unix,
+            "snapshot": self._snapshot(),
+            "metrics": self.metrics.as_dict(),
+        }, {"Content-Type": "application/json"}
+
+    async def _route_jobs(self, method: str, path: str,
+                          query: dict) -> Tuple[int, dict, dict]:
         tail = path[len("/v1/jobs/"):]
         if tail.endswith("/cancel") and method == "POST":
             job = self._lookup(tail[: -len("/cancel")])
             return self._cancel(job)
         if method != "GET":
             raise ServeError(405, f"{method} not allowed on {path}")
+        if tail.endswith("/trace"):
+            return self._job_trace(tail[: -len("/trace")], query)
         job = self._lookup(tail)
         self._expire_if_due(job)
         return 200, job.as_document(), {}
+
+    def _job_trace(self, job_id: str,
+                   query: dict) -> Tuple[int, dict, dict]:
+        """The job's merged span tree — every span the service and its
+        workers recorded under the request's trace_id."""
+        job = self._lookup(job_id)
+        if job.trace_id is None:
+            raise ServeError(404, f"no trace recorded for job {job.id!r}")
+        spans = self.spans.for_trace(job.trace_id)
+        fmt = query.get("format", "json").strip().lower()
+        if fmt == "perfetto":
+            doc = _sp.spans_to_chrome_trace(spans)
+            return 200, doc, {"X-Repro-Trace-Id": job.trace_id}
+        if fmt != "json":
+            raise ServeError(
+                400, f"unknown trace format {fmt!r} (json, perfetto)"
+            )
+        return 200, {
+            "schema": _sp.SPAN_SCHEMA,
+            "job": job.id,
+            "trace_id": job.trace_id,
+            "state": job.state,
+            "spans": [span.to_dict() for span in spans],
+        }, {"X-Repro-Trace-Id": job.trace_id}
 
     def _lookup(self, job_id: str) -> JobRecord:
         job = self.jobs.get(job_id)
@@ -377,7 +463,7 @@ class SimulationService:
             job = self._new_job(spec)
             job.cached = True
             job.finalize(protocol.DONE, result=cached)
-            return 200, job.as_document(), {}
+            return 200, job.as_document(), self._trace_headers(job)
         self.metrics.counter("serve.cache_misses").inc()
         if self._draining:
             raise ServeError(
@@ -398,7 +484,7 @@ class SimulationService:
         self.queue.put_nowait(job)
         self.metrics.counter("serve.jobs_admitted").inc()
         if not wait:
-            return 202, job.as_document(), {}
+            return 202, job.as_document(), self._trace_headers(job)
         timeout = job.remaining()
         if timeout is not None:
             timeout += 5.0  # grace for the scheduler to record the timeout
@@ -406,4 +492,11 @@ class SimulationService:
             await asyncio.wait_for(job.done_event.wait(), timeout)
         except asyncio.TimeoutError:
             self._expire_if_due(job)
-        return (200 if job.terminal else 202), job.as_document(), {}
+        status = 200 if job.terminal else 202
+        return status, job.as_document(), self._trace_headers(job)
+
+    @staticmethod
+    def _trace_headers(job: JobRecord) -> dict:
+        if job.trace_id is None:
+            return {}
+        return {"X-Repro-Trace-Id": job.trace_id}

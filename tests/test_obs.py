@@ -65,7 +65,24 @@ class TestMetrics:
         gauge.record(0, 1.0)
         gauge.record(8, 3.0)
         assert gauge.mean() == 2.0
-        assert gauge.as_dict() == {"cycles": [0, 8], "values": [1.0, 3.0]}
+        assert gauge.as_dict() == {
+            "cycles": [0, 8],
+            "values": [1.0, 3.0],
+            "count": 2,
+            "last": 3.0,
+            "mean": 2.0,
+        }
+
+    def test_empty_series_guards_are_consistent(self):
+        # Empty Gauge and Histogram series guard aggregates the same
+        # way: counts are 0, value aggregates are None.
+        registry = MetricRegistry()
+        gauge = registry.gauge("g")
+        hist = registry.histogram("h")
+        gd, hd = gauge.as_dict(), hist.as_dict()
+        assert gd["count"] == 0 and hd["count"] == 0
+        assert gd["last"] is None and gd["mean"] is None
+        assert hd["mean"] is None and hd["min"] is None and hd["max"] is None
 
     def test_histogram_buckets(self):
         hist = Histogram("h", bounds=(10, 20, 40))

@@ -102,6 +102,14 @@ class ServiceHandle:
     def get(self, path: str, timeout=60):
         return self.request("GET", path, None, timeout)
 
+    def get_raw(self, path: str, timeout=60):
+        """GET without assuming a JSON body (Prometheus exposition)."""
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}{path}", method="GET"
+        )
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), resp.read().decode()
+
     def wait_for_state(self, job_id: str, states, timeout: float = 30):
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
@@ -387,13 +395,54 @@ class TestHttpSurface:
         handle.post("/v1/run?wait=1",
                     {"scene": "WKND", "technique": "baseline",
                      "scale": "smoke"})
-        status, _headers, doc = handle.get("/metrics")
+        status, headers, doc = handle.get("/metrics")
         assert status == 200
+        assert headers["Content-Type"] == "application/json"
         assert doc["schema"] == "repro.serve_metrics/1"
         counters = doc["metrics"]["counters"]
         assert counters["serve.requests_total"] >= 1
         assert counters["serve.jobs_done"] >= 1
         assert "serve.latency_ms" in doc["metrics"]["histograms"]
+
+    def test_metrics_snapshot_seq_is_monotonic(self, serve_factory):
+        handle = serve_factory()
+        _, _, first = handle.get("/metrics")
+        _, _, second = handle.get("/metrics")
+        assert first["snapshot_seq"] >= 1
+        assert second["snapshot_seq"] > first["snapshot_seq"]
+        assert second["started_unix"] == first["started_unix"] > 0
+
+    def test_metrics_prometheus_exposition(self, serve_factory):
+        handle = serve_factory()
+        handle.post("/v1/run?wait=1",
+                    {"scene": "WKND", "technique": "baseline",
+                     "scale": "smoke"})
+        status, headers, text = handle.get_raw("/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "# TYPE repro_serve_latency_ms histogram" in text
+        assert 'repro_serve_latency_ms_bucket{le="+Inf"}' in text
+        assert "repro_serve_latency_ms_sum" in text
+        assert "repro_serve_latency_ms_count" in text
+        assert "repro_serve_snapshot_seq" in text
+        # Cumulative buckets: the +Inf bucket equals _count.
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        )
+        assert (
+            lines['repro_serve_latency_ms_bucket{le="+Inf"}']
+            == lines["repro_serve_latency_ms_count"]
+        )
+
+    def test_metrics_unknown_format_is_400(self, serve_factory):
+        handle = serve_factory()
+        status, _headers, doc = handle.get("/metrics?format=xml")
+        assert status == 400
+        assert "format" in doc["error"]
 
     def test_unknown_job_is_404(self, serve_factory):
         handle = serve_factory()
@@ -465,11 +514,32 @@ class TestLoadgen:
                            latency_s=float(i + 1), state="done")
             for i in range(100)
         ]
-        # Nearest rank over indices 0..99: round(0.5 * 99) = 50 -> 51.0.
-        assert report.percentile(0.50) == pytest.approx(51.0)
+        # True nearest rank (ceil(f*N), the repo-wide definition in
+        # repro.obs.metrics.nearest_rank): p50 of 1..100 is 50.0.
+        assert report.percentile(0.50) == pytest.approx(50.0)
         assert report.percentile(0.99) == pytest.approx(99.0)
         assert report.percentile(1.0) == pytest.approx(100.0)
         assert report.percentile(0.0) == pytest.approx(1.0)
+
+    def test_percentile_delegates_to_shared_nearest_rank(self):
+        # Satellite contract: loadgen percentiles and the obs quantile
+        # helper are the same code path — pin both to the same values.
+        from repro.obs.metrics import Histogram, nearest_rank
+
+        latencies = [1.0, 2.0, 4.0, 8.0, 16.0]
+        report = LoadReport(offered_qps=1.0)
+        report.outcomes = [
+            RequestOutcome(index=i, offset_s=0.0, status=200,
+                           latency_s=value, state="done")
+            for i, value in enumerate(latencies)
+        ]
+        hist = Histogram("lat", bounds=(1, 2, 4, 8, 16))
+        for value in latencies:
+            hist.record(value)
+        for fraction in (0.0, 0.25, 0.5, 0.95, 0.99, 1.0):
+            expected = nearest_rank(latencies, fraction)
+            assert report.percentile(fraction) == expected
+            assert hist.quantile(fraction) == expected
 
 
 class TestResultLRU:
@@ -489,3 +559,109 @@ class TestResultLRU:
         lru.put(("a",), {"v": 1})
         assert lru.get(("a",)) is None
         assert lru.info()["entries"] == 0
+
+
+class TestRequestTracing:
+    """The tentpole's acceptance path: spans across serve -> scheduler
+    batch -> exec workers, merged under one request trace_id."""
+
+    def test_submit_stamps_trace_id_header(self, serve_factory):
+        handle = serve_factory()
+        status, headers, doc = handle.post(
+            "/v1/run?wait=1",
+            {"scene": "WKND", "technique": "baseline", "scale": "smoke"},
+        )
+        assert status == 200
+        assert headers["X-Repro-Trace-Id"] == doc["trace_id"]
+        # Repeat request: served from the LRU, still traced.
+        status, headers, doc = handle.post(
+            "/v1/run?wait=1",
+            {"scene": "WKND", "technique": "baseline", "scale": "smoke"},
+        )
+        assert doc["cached"] is True
+        assert headers["X-Repro-Trace-Id"] == doc["trace_id"]
+
+    def test_job_trace_endpoint_returns_span_tree(self, serve_factory):
+        handle = serve_factory()
+        _status, _headers, doc = handle.post(
+            "/v1/run?wait=1",
+            {"scene": "WKND", "technique": "baseline", "scale": "smoke"},
+        )
+        job_id, trace_id = doc["id"], doc["trace_id"]
+        status, headers, trace = handle.get(f"/v1/jobs/{job_id}/trace")
+        assert status == 200
+        assert trace["schema"] == "repro.spans/1"
+        assert trace["trace_id"] == trace_id
+        assert headers["X-Repro-Trace-Id"] == trace_id
+        spans = trace["spans"]
+        assert all(span["trace_id"] == trace_id for span in spans)
+        by_name = {span["name"] for span in spans}
+        assert {"request", "queue.wait", "serve.batch",
+                "serve.execute"} <= by_name
+        # The root request span closed when the job finalized, and the
+        # batch span parents onto it (single-request batch).
+        root = next(s for s in spans if s["name"] == "request")
+        assert root["parent_id"] is None
+        assert root["end_unix"] is not None
+        batch = next(s for s in spans if s["name"] == "serve.batch")
+        assert batch["parent_id"] == root["span_id"]
+
+    def test_unknown_trace_is_404(self, serve_factory):
+        handle = serve_factory()
+        status, _headers, _doc = handle.get("/v1/jobs/nope/trace")
+        assert status == 404
+
+    def test_sweep_trace_spans_multiple_worker_processes(
+        self, serve_factory
+    ):
+        """Acceptance criterion: one served sweep (jobs=2 scenes, two
+        techniques -> 4 exec jobs) with workers=2 yields one merged
+        Perfetto trace spanning serve, the scheduler batch, and >= 2
+        exec worker processes — every span carrying the request's
+        trace_id."""
+        import os
+
+        from repro.core.pipeline import clear_caches
+
+        clear_caches()  # force real work so pool workers get jobs
+        handle = serve_factory(workers=2)
+        status, headers, doc = handle.post(
+            "/v1/sweep?wait=1",
+            {"technique": "treelet-prefetch", "scale": "smoke",
+             "scenes": ["WKND", "SHIP"]},
+            timeout=300,
+        )
+        assert status == 200 and doc["state"] == "done"
+        trace_id = headers["X-Repro-Trace-Id"]
+        job_id = doc["id"]
+
+        status, _headers, trace = handle.get(f"/v1/jobs/{job_id}/trace")
+        assert status == 200
+        spans = trace["spans"]
+        assert spans and all(s["trace_id"] == trace_id for s in spans)
+        names = {s["name"] for s in spans}
+        assert {"request", "serve.batch", "exec.job",
+                "phase.replay"} <= names
+        # Worker spans came from processes other than the server's, and
+        # from at least two distinct worker pids.
+        worker_pids = {
+            s["pid"] for s in spans if s["process"] == "worker"
+        }
+        assert len(worker_pids) >= 2
+        assert os.getpid() not in worker_pids
+
+        # The Perfetto rendering of the same trace: one process track
+        # per recording process, every slice tagged with the trace_id.
+        status, _headers, perfetto = handle.get(
+            f"/v1/jobs/{job_id}/trace?format=perfetto"
+        )
+        assert status == 200
+        events = perfetto["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert all(e["args"]["trace_id"] == trace_id for e in slices)
+        process_names = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert any(n.startswith("serve") for n in process_names)
+        assert sum(1 for n in process_names if n.startswith("worker")) >= 2

@@ -57,6 +57,11 @@ def main() -> int:
         help="fail when the trace phase's vectorized-over-scalar "
              "speedup drops below this floor",
     )
+    parser.add_argument(
+        "--min-replay-speedup", type=float, default=None,
+        help="fail when the replay phase's batched-over-scalar "
+             "speedup drops below this floor",
+    )
     args = parser.parse_args()
 
     baseline_dir = Path(args.baseline_dir)
@@ -92,17 +97,18 @@ def main() -> int:
             print(f"{baseline_path.name:>22} {name:<20} "
                   f"{base_seconds:.4f}s -> {cur['seconds']:.4f}s "
                   f"({ratio:.2f}x)  {verdict}")
-        if (
-            args.min_trace_speedup is not None
-            and baseline["phase"] == "trace"
-        ):
+        floor = {
+            "trace": args.min_trace_speedup,
+            "replay": args.min_replay_speedup,
+        }.get(baseline["phase"])
+        if floor is not None:
             speedup = current["derived"].get("speedup", 0.0)
             verdict = "ok"
-            if speedup < args.min_trace_speedup:
+            if speedup < floor:
                 verdict = "REGRESSION"
                 failures += 1
             print(f"{baseline_path.name:>22} {'derived.speedup':<20} "
-                  f"{speedup:.2f}x (floor {args.min_trace_speedup:.2f}x)  "
+                  f"{speedup:.2f}x (floor {floor:.2f}x)  "
                   f"{verdict}")
 
     if failures:

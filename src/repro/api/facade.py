@@ -74,7 +74,9 @@ class RunRequest:
     ``cache=False`` bypasses the in-process result memoizer;
     ``trace_backend`` forces "vectorized" or "scalar" trace generation
     for this run (they are bit-identical; None uses the process
-    default).
+    default).  ``replay_backend`` likewise forces the "batched" or
+    "scalar" replay engine (bit-identical statistics; None uses
+    ``$REPRO_REPLAY_BACKEND`` and then the config default, "batched").
     """
 
     scene: str
@@ -84,6 +86,7 @@ class RunRequest:
     cache: bool = True
     observer: Optional[object] = None
     trace_backend: Optional[str] = None
+    replay_backend: Optional[str] = None
 
 
 @dataclass
@@ -136,6 +139,7 @@ def run(
     cache: bool = True,
     observer=None,
     trace_backend: Optional[str] = None,
+    replay_backend: Optional[str] = None,
 ) -> RunResult:
     """Evaluate one technique on one scene; the front door for single runs.
 
@@ -155,6 +159,7 @@ def run(
             cache=cache,
             observer=observer,
             trace_backend=trace_backend,
+            replay_backend=replay_backend,
         )
     resolved_technique = _coerce_technique(request.technique)
     resolved_scale = _coerce_scale(request.scale)
@@ -185,6 +190,7 @@ def run(
             gpu_config=request.gpu_config,
             use_cache=request.cache,
             observer=request.observer,
+            replay_backend=request.replay_backend,
         )
     return RunResult(
         scene=request.scene,

@@ -13,7 +13,9 @@ region so leaf intersection tests generate distinct demand traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
+
+import numpy as np
 
 from .node import NODE_SIZE_BYTES, PRIMITIVE_SIZE_BYTES, FlatBVH
 
@@ -49,6 +51,29 @@ class NodeLayout:
     def treelet_of(self, node_id: int) -> int:
         """Treelet id of a node; -1 when the layout has no treelets."""
         return self.node_treelet.get(node_id, -1)
+
+    def lookup_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(address_table, treelet_table)`` indexed by node id.
+
+        Node ids from the flattened BVH are dense (``0 .. n-1``), so the
+        dict lookups above can be replaced by a single vectorized gather
+        when converting whole traces to per-ray address/treelet lists.
+        Treelet-less layouts fill the treelet table with -1, matching
+        :meth:`treelet_of`.  The tables are built once per layout and
+        cached (layouts are immutable after construction).
+        """
+        cached = self.__dict__.get("_lookup_arrays")
+        if cached is not None:
+            return cached
+        size = max(self.node_address) + 1 if self.node_address else 0
+        addresses = np.zeros(size, dtype=np.int64)
+        for node_id, address in self.node_address.items():
+            addresses[node_id] = address
+        treelets = np.full(size, -1, dtype=np.int64)
+        for node_id, treelet in self.node_treelet.items():
+            treelets[node_id] = treelet
+        self.__dict__["_lookup_arrays"] = (addresses, treelets)
+        return addresses, treelets
 
 
 def dfs_layout(bvh: FlatBVH, base_address: int = BVH_BASE_ADDRESS) -> NodeLayout:

@@ -3,7 +3,7 @@
 from .cache import AccessOutcome, Cache, CacheStats, LineMeta
 from .dram import Dram, DramStats
 from .event import EventQueue
-from .gpu import GpuModel, SimulationLimitError
+from .gpu import GpuModel, REPLAY_BACKENDS, SimulationLimitError
 from .memsys import (
     MemorySystem,
     REGION_MAPPING,
@@ -29,6 +29,7 @@ __all__ = [
     "REGION_MAPPING",
     "REGION_NODE",
     "REGION_PRIMITIVE",
+    "REPLAY_BACKENDS",
     "RTUnit",
     "RTUnitStats",
     "RayState",

@@ -77,6 +77,15 @@ class Cache:
         self.config = config
         self.name = name
         self.stats = CacheStats()
+        # Geometry, resolved once: the address math runs on every access
+        # of every cache level, so chasing config properties there costs
+        # more than the lookups themselves.
+        self._line_bytes = config.line_bytes
+        self._n_sets = config.n_sets
+        self._n_ways = (
+            config.n_lines if config.associativity == 0 else config.associativity
+        )
+        self._mshr_capacity = config.mshr_entries
         # set index -> line -> LineMeta, in LRU order (oldest first).
         self._sets: Dict[int, "OrderedDict[int, LineMeta]"] = {}
         self._mshrs: Dict[int, MshrEntry] = {}
@@ -88,15 +97,13 @@ class Cache:
     # -- geometry ---------------------------------------------------------
 
     def line_of(self, address: int) -> int:
-        return address // self.config.line_bytes
+        return address // self._line_bytes
 
     def _set_of(self, line: int) -> int:
-        return line % self.config.n_sets
+        return line % self._n_sets
 
     def _ways(self) -> int:
-        if self.config.associativity == 0:
-            return self.config.n_lines
-        return self.config.associativity
+        return self._n_ways
 
     # -- queries ----------------------------------------------------------
 
@@ -108,7 +115,7 @@ class Cache:
         return line in self._mshrs
 
     def mshr_full(self) -> bool:
-        return len(self._mshrs) >= self.config.mshr_entries
+        return len(self._mshrs) >= self._mshr_capacity
 
     def mshr_owner_is_prefetch(self, line: int) -> Optional[bool]:
         """True/False for an in-flight line's current owner; None if idle."""
@@ -119,7 +126,7 @@ class Cache:
         return [line for s in self._sets.values() for line in s]
 
     def line_meta(self, line: int) -> Optional[LineMeta]:
-        set_map = self._sets.get(self._set_of(line))
+        set_map = self._sets.get(line % self._n_sets)
         if set_map is None:
             return None
         return set_map.get(line)
@@ -151,7 +158,7 @@ class Cache:
             stats.prefetch_accesses += 1
         else:
             stats.demand_accesses += 1
-        set_map = self._sets.setdefault(self._set_of(line), OrderedDict())
+        set_map = self._sets.setdefault(line % self._n_sets, OrderedDict())
         meta = set_map.get(line)
         if meta is not None:
             set_map.move_to_end(line)
@@ -247,9 +254,9 @@ class Cache:
         handles residency, LRU victim selection, and fill attribution.
         """
         entry = self._mshrs.pop(line, None)
-        set_map = self._sets.setdefault(self._set_of(line), OrderedDict())
+        set_map = self._sets.setdefault(line % self._n_sets, OrderedDict())
         if line not in set_map:
-            if len(set_map) >= self._ways():
+            if len(set_map) >= self._n_ways:
                 victim, victim_meta = set_map.popitem(last=False)
                 self.stats.evictions += 1
                 if victim_meta.filled_by_prefetch and not victim_meta.demand_touched:

@@ -46,3 +46,21 @@ class EventQueue:
             callback(event_cycle)
             fired += 1
         return fired
+
+    def drain(self, cycle: int) -> int:
+        """Fire every remaining event in order; return the final cycle base.
+
+        This is the trailing drain both replay engines share after their
+        main loops exit: in-flight memory responses (fills, DRAM
+        completions) still land at their scheduled cycles, and the cycle
+        counter advances to the latest of them.  The returned value is
+        the base that denominates every per-cycle rate in ``SimStats``,
+        so callers must use it — not the loop-exit cycle — when
+        collecting statistics.
+        """
+        while self._heap:
+            next_event = self._heap[0][0]
+            self.run_due(next_event)
+            if next_event > cycle:
+                cycle = next_event
+        return cycle

@@ -1,15 +1,29 @@
 """Top-level GPU: SMs with RT units over a shared memory system.
 
 ``GpuModel.run`` replays a batch of per-ray traversal traces to
-completion and returns :class:`~repro.gpusim.stats.SimStats`.  The cycle
-loop fast-forwards through globally-stalled stretches (every ray waiting
-on memory, nothing queued) by jumping to the next scheduled event, which
-is what makes a pure-Python cycle model tractable.
+completion and returns :class:`~repro.gpusim.stats.SimStats`.  Two
+replay engines drive the same RT units and memory system:
+
+* ``"batched"`` (default) — an event-engine core: the loop advances in
+  time buckets (pending event cycles plus per-unit wake cycles) and
+  steps only RT units with actionable work, crediting the skipped
+  stall cycles in bulk.  Per-unit wake cycles come from
+  :meth:`RTUnit.next_wake`, which folds in the prefetcher's
+  self-scheduled activity (queue releases, decision gates, adaptive
+  epochs) so no decision point is ever skipped.
+* ``"scalar"`` — the reference loop: every unit steps every cycle, with
+  an optional fast-forward over globally-stalled stretches.
+
+Both engines produce bit-identical :class:`SimStats` (pinned by
+``tests/test_replay_backend.py`` across all scenes and techniques);
+"scalar" is kept as the oracle the batched engine is verified against.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
+
+import numpy as np
 
 from ..bvh import FlatBVH, NodeLayout
 from ..core.config import GpuConfig
@@ -23,6 +37,10 @@ from .timeline import TimelineSampler
 from .warp import RayTask
 
 PrefetcherFactory = Callable[[int], Optional[Prefetcher]]
+
+#: Replay engines.  Both produce bit-identical ``SimStats``; "batched"
+#: is the event-driven fast path, "scalar" the per-cycle oracle.
+REPLAY_BACKENDS = ("batched", "scalar")
 
 
 class SimulationLimitError(RuntimeError):
@@ -40,8 +58,19 @@ class GpuModel:
         enable_fast_forward: bool = True,
         timeline: Optional[TimelineSampler] = None,
         observer=None,
+        replay_backend: Optional[str] = None,
     ) -> None:
         self.config = config
+        #: Which engine drives :meth:`run`; explicit argument wins over
+        #: ``config.replay_backend``.  Never affects results.
+        self.replay_backend = replay_backend or getattr(
+            config, "replay_backend", "batched"
+        )
+        if self.replay_backend not in REPLAY_BACKENDS:
+            raise ValueError(
+                f"unknown replay backend {self.replay_backend!r} "
+                f"(known: {', '.join(REPLAY_BACKENDS)})"
+            )
         #: Skip globally-stalled stretches by jumping to the next event.
         #: Disabling this must not change any result (tests rely on it).
         self.enable_fast_forward = enable_fast_forward
@@ -81,11 +110,27 @@ class GpuModel:
         """
         warp_size = self.config.warp_size
         line_bytes = self.config.l1.line_bytes
-        tasks = [
-            RayTask(trace=trace, bvh=bvh, layout=layout, line_bytes=line_bytes)
-            for trace in traces
-            if trace.visits
-        ]
+        # SoA precompute: one numpy gather per ray resolves every visit's
+        # byte address and treelet id up front, so the replay hot paths
+        # index flat lists instead of chasing layout dicts per fetch.
+        address_table, treelet_table = layout.lookup_arrays()
+        tasks = []
+        for trace in traces:
+            if not trace.visits:
+                continue
+            ids = np.asarray(
+                [visit.node_id for visit in trace.visits], dtype=np.intp
+            )
+            tasks.append(
+                RayTask(
+                    trace=trace,
+                    bvh=bvh,
+                    layout=layout,
+                    line_bytes=line_bytes,
+                    addresses=address_table[ids].tolist(),
+                    treelets=treelet_table[ids].tolist(),
+                )
+            )
         warps = [
             tasks[i : i + warp_size] for i in range(0, len(tasks), warp_size)
         ]
@@ -102,13 +147,43 @@ class GpuModel:
         and keeps caches warm, so ``load(); run(); load(); run()``
         models back-to-back frames.  Statistics are cumulative across
         calls; use :meth:`run_frame` for per-frame deltas.
+
+        The engine is picked by ``replay_backend`` ("batched" or
+        "scalar"); both produce bit-identical statistics.  The deadlock
+        guard is per-run: each call may simulate up to
+        ``config.max_cycles`` fresh cycles regardless of how far the
+        cumulative counter has advanced.
+        """
+        if self.replay_backend == "scalar":
+            cycle = self._run_scalar()
+        else:
+            cycle = self._run_batched()
+        # Drain any trailing events (e.g. late prefetch fills).  The
+        # drain advances the cycle base past the loop exit, and
+        # ``_collect`` denominates every rate (DRAM utilization, stall
+        # fractions, IPC) by that extended count — identically in both
+        # backends, so utilization covers the cycles in which the memory
+        # system was genuinely active.
+        cycle = self.events.drain(cycle)
+        self._current_cycle = cycle
+        return self._collect(cycle)
+
+    def _run_scalar(self) -> int:
+        """The oracle engine: step every RT unit every cycle.
+
+        Fast-forward (when enabled) jumps over globally-stalled
+        stretches, bounded by both the next scheduled event and every
+        prefetcher's next self-scheduled activity (decision gates,
+        adaptive epoch boundaries) so a jump never skips a cycle in
+        which a prefetcher would have acted.
         """
         config = self.config
         events = self.events
         units = self.units
-        cycle = getattr(self, "_current_cycle", 0)
+        start = getattr(self, "_current_cycle", 0)
+        cycle = start
         while any(unit.busy() for unit in units):
-            if cycle > config.max_cycles:
+            if cycle - start > config.max_cycles:
                 raise SimulationLimitError(
                     f"exceeded {config.max_cycles} cycles; "
                     "likely a lost memory response"
@@ -123,10 +198,26 @@ class GpuModel:
             # Fast-forward across globally idle stretches.
             if self.enable_fast_forward and self._globally_stalled():
                 next_event = events.next_cycle()
-                if next_event is not None and next_event > cycle + 1:
+                if next_event is None:
+                    # Nothing in flight and nothing ready: only possible
+                    # if we are done (checked by the loop condition).
+                    cycle += 1
+                    continue
+                target = next_event
+                for unit in units:
+                    activity = unit.prefetcher.next_activity_cycle(
+                        cycle, unit.vote_version
+                    )
+                    if activity is not None and activity < target:
+                        target = activity
+                if target > cycle + 1:
                     # The skipped cycles are stalls by construction;
-                    # account them so fast-forward stays exact.
-                    skipped = next_event - cycle - 1
+                    # account them so fast-forward stays exact.  Only
+                    # units with resident warps stall: a unit whose
+                    # buffer is empty here has no pending warps either
+                    # (it would have blocked the global-stall check),
+                    # and in-flight misses imply a resident warp.
+                    skipped = target - cycle - 1
                     for unit in units:
                         if unit.buffer:
                             unit.stats.stall_cycles += skipped
@@ -137,21 +228,122 @@ class GpuModel:
                                     f"RT{unit.sm_id}",
                                     dur=skipped,
                                 )
-                    cycle = next_event
-                    continue
-                if next_event is None:
-                    # Nothing in flight and nothing ready: only possible
-                    # if we are done (checked by the loop condition).
-                    cycle += 1
+                    cycle = target
                     continue
             cycle += 1
-        # Drain any trailing events (e.g. late prefetch fills).
-        while len(events):
-            next_event = events.next_cycle()
-            events.run_due(next_event)
-            cycle = max(cycle, next_event)
-        self._current_cycle = cycle
-        return self._collect(cycle)
+        return cycle
+
+    def _run_batched(self) -> int:
+        """The event-engine core: advance in time buckets, step only
+        units with actionable work.
+
+        A bucket is processed at every pending event cycle and at every
+        per-unit wake cycle (:meth:`RTUnit.next_wake`: admittable
+        pending warps, issue-ready rays with a free MSHR, test-FIFO due
+        cycles, and the prefetcher's self-scheduled activity).  Event
+        callbacks mark their unit dirty so data arrivals are acted on in
+        the same cycle, exactly like the scalar loop's
+        run-events-then-step ordering.  Cycles a unit skips are, by
+        construction, cycles its step would only have counted as stalls;
+        they are credited in bulk at its next step using the stall kind
+        (:meth:`RTUnit.idle_kind`) captured when the skip began — warp
+        state can only change in a step or an event callback, and every
+        callback dirties the unit, so the kind is constant across any
+        skipped stretch.
+        """
+        config = self.config
+        events = self.events
+        units = self.units
+        timeline = self.timeline
+        start = getattr(self, "_current_cycle", 0)
+        cycle = start
+        max_cycles = config.max_cycles
+        n = len(units)
+        indices = tuple(range(n))
+        wakes: List[Optional[int]] = [start] * n
+        last_step = [start - 1] * n
+        kinds = [0] * n
+        run_due = events.run_due
+        next_cycle = events.next_cycle
+
+        def on_fill(sm: int, _units=units) -> None:
+            _units[sm].dirty = True
+
+        # Wake MSHR-sleeping units the moment a fill frees an entry.
+        self.memsys.fill_listener = on_fill
+        if not any(unit.busy() for unit in units):
+            return cycle
+        while True:
+            if cycle - start > max_cycles:
+                raise SimulationLimitError(
+                    f"exceeded {max_cycles} cycles; "
+                    "likely a lost memory response"
+                )
+            run_due(cycle)
+            for unit in units:
+                if unit._box_tests or unit._prim_tests or unit._hit_responses:
+                    unit.run_tests_due(cycle)
+            if timeline is not None:
+                timeline.maybe_sample(cycle, units)
+            stepped = False
+            for i in indices:
+                unit = units[i]
+                wake = wakes[i]
+                if unit.dirty or (wake is not None and wake <= cycle):
+                    unit.dirty = False
+                    stepped = True
+                    gap = cycle - last_step[i] - 1
+                    if gap > 0:
+                        kind = kinds[i]
+                        if kind == 1:
+                            unit.stats.stall_cycles += gap
+                            if unit.obs is not None:
+                                unit.obs.emit(
+                                    "rtunit.stall",
+                                    last_step[i] + 1,
+                                    f"RT{unit.sm_id}",
+                                    dur=gap,
+                                )
+                        elif kind == 2:
+                            unit.stats.mshr_stall_cycles += gap
+                            if unit.obs is not None:
+                                unit.obs.emit(
+                                    "rtunit.stall",
+                                    last_step[i] + 1,
+                                    f"RT{unit.sm_id}",
+                                    dur=gap,
+                                    args={"reason": "mshr"},
+                                )
+                    unit.step_fast(cycle)
+                    last_step[i] = cycle
+                    kinds[i] = unit.idle_kind()
+                    wakes[i] = unit.next_wake(cycle)
+            # A unit only goes idle inside a step (retirement, degenerate
+            # admits), so the completion check is needed only on buckets
+            # that stepped someone.
+            if stepped and not any(unit.busy() for unit in units):
+                # Mirror the scalar loop's post-iteration increment: the
+                # cycle counter rests one past the last worked cycle.
+                cycle += 1
+                break
+            # Test-FIFO and hit-response due cycles are folded into each
+            # unit's wake by ``next_wake`` (appends always precede a
+            # fresh wake), so the wake list alone bounds the jump.
+            nxt = next_cycle()
+            for wake in wakes:
+                if wake is not None and (nxt is None or wake < nxt):
+                    nxt = wake
+            if timeline is not None:
+                sample = timeline.next_sample_cycle
+                if nxt is None or sample < nxt:
+                    nxt = sample
+            if nxt is None:
+                raise SimulationLimitError(
+                    "work remains but no events or unit activity are "
+                    "pending; likely a lost memory response"
+                )
+            cycle = nxt if nxt > cycle else cycle + 1
+        return cycle
 
     def run_frame(
         self,

@@ -101,6 +101,11 @@ class MemorySystem:
         self.stream_buffer_hits = 0
         #: optional trace bus (repro.obs); None = tracing disabled.
         self.obs = None
+        #: optional ``listener(sm)`` invoked on every L1 / stream-buffer
+        #: fill.  The batched replay engine installs one to wake units
+        #: sleeping on full L1 MSHRs — fills are the only transition
+        #: that frees an MSHR, so this hook makes that sleep exact.
+        self.fill_listener: Optional[Callable[[int], None]] = None
         if self.uses_stream_buffers:
             self.stream_buffers = [
                 Cache(config.stream_buffer, name=f"SB[{sm}]")
@@ -165,15 +170,32 @@ class MemorySystem:
     ) -> AccessOutcome:
         l1 = self.l1s[sm]
         tracker = self.trackers[sm]
-        line = l1.line_of(address)
-        prior_meta = _snapshot(l1.line_meta(line))
-        prior_owner = l1.mshr_owner_is_prefetch(line)
+        line = address // l1._line_bytes
+        # Classify for the effectiveness tracker *before* the probe: the
+        # probe only mutates LRU order, ``demand_touched``, and MSHR
+        # ownership, so the live pre-probe state is exactly the prior
+        # state — no snapshot copy needed.  The outcome derivation must
+        # mirror ``Cache.probe`` (resident -> HIT, in flight ->
+        # PENDING_HIT, else MISS); the golden bit-identity suite pins it.
+        set_map = l1._sets.get(line % l1._n_sets)
+        meta = set_map.get(line) if set_map is not None else None
+        if meta is not None:
+            prior_owner = None
+            pre_outcome = AccessOutcome.HIT
+        else:
+            entry = l1._mshrs.get(line)
+            prior_owner = entry.is_prefetch if entry is not None else None
+            pre_outcome = (
+                AccessOutcome.MISS
+                if prior_owner is None
+                else AccessOutcome.PENDING_HIT
+            )
+        if is_prefetch:
+            tracker.on_prefetch_probe(line, pre_outcome, meta, prior_owner)
+        else:
+            tracker.on_demand_probe(line, pre_outcome, meta, prior_owner)
 
         outcome = l1.probe(line, is_prefetch, waiter=responder, cycle=cycle)
-        if is_prefetch:
-            tracker.on_prefetch_probe(line, outcome, prior_meta, prior_owner)
-        else:
-            tracker.on_demand_probe(line, outcome, prior_meta, prior_owner)
 
         if outcome is AccessOutcome.HIT:
             if responder is not None:
@@ -323,6 +345,8 @@ class MemorySystem:
         was_prefetch = self.l1s[sm].mshr_owner_is_prefetch(line)
         waiters = self.l1s[sm].fill(line, cycle)
         tracker.on_fill(line, bool(was_prefetch))
+        if self.fill_listener is not None:
+            self.fill_listener(sm)
         if was_prefetch and self.obs is not None:
             self.obs.emit(
                 "prefetch.fill",
@@ -339,6 +363,8 @@ class MemorySystem:
         was_prefetch = buffer.mshr_owner_is_prefetch(line)
         waiters = buffer.fill(line, cycle)
         tracker.on_fill(line, bool(was_prefetch))
+        if self.fill_listener is not None:
+            self.fill_listener(sm)
         if was_prefetch and self.obs is not None:
             self.obs.emit(
                 "prefetch.fill",

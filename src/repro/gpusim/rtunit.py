@@ -6,6 +6,18 @@ there is space, (2) lets the warp scheduler pick a warp and issues up to
 one queued prefetch if a port is left over ("when the memory scheduler
 is not busy servicing demand loads"), and (4) ticks the prefetcher's
 decision logic.
+
+Two step implementations share that contract:
+
+* :meth:`RTUnit.step` — the oracle: straight-line code, one heap event
+  per ray test, full warp scans.  The scalar replay engine uses it.
+* :meth:`RTUnit.step_fast` — the batched engine's path: the ready-ray
+  scan exits early via ``ready_count``, box/primitive test completions
+  go through per-unit FIFO queues instead of the global event heap
+  (their latencies are constants, so due cycles are already in order),
+  and response callbacks are fused (no intermediate dispatch layers).
+  Bit-identical statistics to :meth:`step` by construction; pinned by
+  ``tests/test_replay_backend.py``.
 """
 
 from __future__ import annotations
@@ -16,6 +28,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.config import GpuConfig
 from ..prefetch.base import Prefetcher
+from .cache import AccessOutcome
 from .event import EventQueue
 from .memsys import MemorySystem, REGION_NODE, REGION_PRIMITIVE
 from .scheduler import select_warp
@@ -61,6 +74,39 @@ class RTUnit:
         self._next_warp_id = 0
         #: bumped whenever warp-buffer vote state changes (voter gate).
         self.vote_version = 0
+        #: set by event callbacks (memory responses, test completions)
+        #: so the batched replay engine steps this unit in the same
+        #: cycle the data lands, matching the scalar loop's
+        #: run-events-then-step order.  The engine clears it.
+        self.dirty = False
+        #: batched-path op-unit pipelines: FIFOs of ``(due, warp, ray)``
+        #: test completions.  Box and primitive test latencies are each
+        #: a constant, so within one queue due cycles are appended in
+        #: nondecreasing order and a deque replaces per-ray heap events.
+        self._box_tests: Deque[Tuple[int, WarpSlot, RayTask]] = deque()
+        self._prim_tests: Deque[Tuple[int, WarpSlot, RayTask]] = deque()
+        #: batched-path L1-hit responses awaiting delivery, as
+        #: ``(due, is_node, warp, rays, issue_cycle)``.  Hit latency is a
+        #: constant, so due cycles are appended in nondecreasing order
+        #: and a deque replaces the scalar path's heap events.
+        self._hit_responses: Deque[
+            Tuple[int, bool, WarpSlot, List[RayTask], int]
+        ] = deque()
+        # Hot-loop constants, resolved once per unit.
+        self._warp_buffer_size = config.warp_buffer_size
+        self._mem_ports = config.mem_ports
+        self._line_bytes = config.l1.line_bytes
+        self._l1_latency = config.l1.latency
+        self._box_latency = config.box_test_latency
+        self._prim_latency = config.primitive_test_latency
+        self._l1 = memsys.l1s[sm_id]
+        self._tracker = memsys.trackers[sm_id]
+        #: merged next-treelet vote counts over the buffer's warps,
+        #: maintained incrementally by the WarpSlots; the majority voter
+        #: reads this instead of re-merging per decision (both engines).
+        self._alive_votes: Dict[int, int] = {}
+        if hasattr(self.prefetcher, "vote_counts"):
+            self.prefetcher.vote_counts = self._alive_votes
 
     # -- workload loading -------------------------------------------------
 
@@ -75,13 +121,74 @@ class RTUnit:
     def ready_total(self) -> int:
         return sum(warp.ready_count for warp in self.buffer)
 
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle this unit must be stepped absent events.
+
+        The batched replay engine skips a unit between its last step and
+        this cycle; the skipped steps would only have counted stalls
+        (no admit possible, no issue-ready ray, no prefetcher activity),
+        which the engine credits in bulk.  ``None`` means the unit is
+        purely event-driven until something marks it dirty.
+        """
+        wake: Optional[int] = None
+        if self.pending_warps and len(self.buffer) < self._warp_buffer_size:
+            wake = cycle + 1  # an admit can happen next cycle
+        else:
+            for warp in self.buffer:
+                if warp.ready_count:
+                    if not self._l1.mshr_full():
+                        # A warp is selectable and the L1 can take the
+                        # access: the unit issues next cycle.
+                        wake = cycle + 1
+                    # else: selectable but MSHR-blocked — every cycle
+                    # until an L1 fill is a pure MSHR stall (credited in
+                    # bulk via :meth:`idle_kind`).  Fills are the only
+                    # way MSHRs free up, and each fill dirties the unit
+                    # through the memory system's fill listener, so
+                    # sleeping until the prefetcher's next activity is
+                    # exact.
+                    break
+            if wake is None:
+                wake = self.prefetcher.next_activity_cycle(
+                    cycle, self.vote_version
+                )
+        # Fold in the earliest queued test completion and hit response.
+        # Both FIFOs only grow in event callbacks or issue steps (each
+        # followed by a fresh wake) and shrink in the engine's drain
+        # (which dirties the unit, forcing a step and a fresh wake), so
+        # the heads captured here stay the earliest until the next step.
+        tests = self.next_test_cycle()
+        if tests is not None and (wake is None or tests < wake):
+            wake = tests
+        if self._hit_responses:
+            due = self._hit_responses[0][0]
+            if wake is None or due < wake:
+                return due
+        return wake
+
+    def idle_kind(self) -> int:
+        """What each cycle skipped after this step would have counted.
+
+        0 = nothing (empty warp buffer), 1 = ``stall_cycles`` (resident
+        warps, none selectable), 2 = ``mshr_stall_cycles`` (selectable
+        warp held off by full L1 MSHRs).  Valid for the whole gap until
+        the next step: any event that changes warp state dirties the
+        unit and ends the gap at that event's cycle.
+        """
+        for warp in self.buffer:
+            if warp.ready_count:
+                return 2
+        return 1 if self.buffer else 0
+
     # -- per-cycle step -----------------------------------------------------
 
     def step(self, cycle: int) -> None:
         # (1) Admit one pending warp per cycle into free buffer slots.
         if self.pending_warps and len(self.buffer) < self.config.warp_buffer_size:
             rays = self.pending_warps.popleft()
-            slot = WarpSlot(self._next_warp_id, rays, cycle)
+            slot = WarpSlot(
+                self._next_warp_id, rays, cycle, shared_votes=self._alive_votes
+            )
             self._next_warp_id += 1
             if slot.done:  # degenerate warp of empty traces
                 self.stats.warps_retired += 1
@@ -142,13 +249,19 @@ class RTUnit:
                             "region": request.region,
                         },
                     )
+                callback = request.on_complete
+                if callback is not None:
+                    # Completion callbacks can unblock the prefetcher
+                    # (Strict Wait table loads); make sure the batched
+                    # engine steps this unit when they fire.
+                    callback = self._mark_dirty(callback)
                 self.memsys.access(
                     self.sm_id,
                     request.address,
                     cycle,
                     is_prefetch=True,
                     region=request.region,
-                    callback=request.on_complete,
+                    callback=callback,
                 )
         # (4) Prefetcher decision logic (+ effectiveness feedback for
         # adaptive throttles).
@@ -156,6 +269,87 @@ class RTUnit:
             cycle, self.memsys.trackers[self.sm_id].counts
         )
         self.prefetcher.on_cycle(cycle, self.buffer, self.vote_version)
+
+    def step_fast(self, cycle: int) -> None:
+        """Batched-engine step: same contract as :meth:`step`, fast paths.
+
+        Differences are implementation-only: the ready-ray scan exits
+        early, responses use fused callbacks that feed the test FIFOs,
+        and everything else is verbatim from the oracle.
+        """
+        buffer = self.buffer
+        stats = self.stats
+        prefetcher = self.prefetcher
+        if self.pending_warps and len(buffer) < self._warp_buffer_size:
+            rays = self.pending_warps.popleft()
+            slot = WarpSlot(
+                self._next_warp_id, rays, cycle, shared_votes=self._alive_votes
+            )
+            self._next_warp_id += 1
+            if slot.done:
+                stats.warps_retired += 1
+            else:
+                buffer.append(slot)
+                self.vote_version += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "warp.issue",
+                        cycle,
+                        f"SM{self.sm_id}",
+                        args=slot.trace_args(),
+                    )
+        issued = 0
+        warp = select_warp(
+            self.scheduler_policy,
+            buffer,
+            prefetcher.last_prefetched_treelet,
+        )
+        if warp is not None and not self._l1.mshr_full():
+            issued = self._issue_demand_fast(warp, cycle)
+            if issued:
+                stats.busy_cycles += 1
+        elif warp is not None:
+            stats.mshr_stall_cycles += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    "rtunit.stall", cycle, f"RT{self.sm_id}", dur=1,
+                    args={"reason": "mshr"},
+                )
+        elif buffer:
+            stats.stall_cycles += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    "rtunit.stall", cycle, f"RT{self.sm_id}", dur=1
+                )
+        if issued < self._mem_ports:
+            request = prefetcher.pop_prefetch(cycle)
+            if request is not None:
+                stats.prefetches_issued += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "prefetch.issue",
+                        cycle,
+                        f"RT{self.sm_id}",
+                        args={
+                            "sm": self.sm_id,
+                            "address": request.address,
+                            "line": request.address // self._line_bytes,
+                            "region": request.region,
+                        },
+                    )
+                callback = request.on_complete
+                if callback is not None:
+                    callback = self._mark_dirty(callback)
+                self.memsys.access(
+                    self.sm_id,
+                    request.address,
+                    cycle,
+                    is_prefetch=True,
+                    region=request.region,
+                    callback=callback,
+                )
+        prefetcher.on_feedback(cycle, self._tracker.counts)
+        prefetcher.on_cycle(cycle, buffer, self.vote_version)
 
     # -- demand path --------------------------------------------------------
 
@@ -181,12 +375,14 @@ class RTUnit:
 
         for ray in warp.rays:
             if ray.state is RayState.FETCH_READY:
-                address = ray.current_node_address()
+                # SoA fast path: index the precomputed per-visit lists
+                # directly instead of going through the accessors.
+                address = ray.addresses[ray.cursor]
                 members = claim(node_groups, address)
                 if members is None:
                     continue
                 members.append(ray)
-                warp.note_unready(ray, ray.current_treelet())
+                warp.note_unready(ray, ray.treelets[ray.cursor])
                 ray.state = RayState.WAIT_NODE
             elif ray.state is RayState.PRIM_READY and ray.prim_lines_pending:
                 while ray.prim_lines_pending:
@@ -198,7 +394,7 @@ class RTUnit:
                     ray.prim_lines_outstanding += 1
                     members.append(ray)
                 if not ray.prim_lines_pending:
-                    warp.note_unready(ray, ray.current_treelet())
+                    warp.note_unready(ray, ray.treelets[ray.cursor])
                     ray.state = RayState.WAIT_PRIM
 
         for line, (address, rays) in node_groups.items():
@@ -223,10 +419,186 @@ class RTUnit:
             )
         return len(node_groups) + len(prim_groups)
 
+    def _issue_demand_fast(self, warp: WarpSlot, cycle: int) -> int:
+        """Fast-path :meth:`_issue_demand`: bitmask scan, fused memory path.
+
+        ``warp.ready_mask`` has exactly one bit set per ray in
+        ``FETCH_READY`` or ``PRIM_READY``, so the scan walks only the
+        ready rays (lowest slot first — the same order as the oracle's
+        full-warp scan).  A ports-full skip leaves a ray's bit set, and
+        the scan keeps going because later rays can still coalesce into
+        already-claimed lines.
+
+        When no observer is attached the L1 resident-hit case is
+        serviced inline (the probe's hit body plus the effectiveness
+        classification, verbatim) and the response is queued on the
+        unit's hit FIFO; misses go through
+        :meth:`MemorySystem._l1_access` with a callback that records the
+        demand latency itself.  Both shortcuts skip dispatch layers
+        only — cycle-for-cycle behaviour is pinned against the oracle by
+        the golden bit-identity suite.
+        """
+        mask = warp.ready_mask
+        if not mask:
+            return 0
+        ports = self._mem_ports
+        line_bytes = self._line_bytes
+        slot_rays = warp.rays
+        ready_treelets = warp.ready_treelet_counts
+        fetch_ready = RayState.FETCH_READY
+        wait_node = RayState.WAIT_NODE
+        wait_prim = RayState.WAIT_PRIM
+        node_groups: Dict[int, Tuple[int, List[RayTask]]] = {}
+        prim_groups: Dict[int, Tuple[int, List[RayTask]]] = {}
+        claimed = 0
+        claimed_mask = 0
+
+        while mask:
+            low = mask & -mask
+            mask -= low
+            ray = slot_rays[low.bit_length() - 1]
+            if ray.state is fetch_ready:
+                address = ray.addresses[ray.cursor]
+                line = address // line_bytes
+                group = node_groups.get(line)
+                if group is None:
+                    if claimed >= ports:
+                        continue
+                    node_groups[line] = (address, [ray])
+                    claimed += 1
+                else:
+                    group[1].append(ray)
+            else:  # PRIM_READY
+                pending = ray.prim_lines_pending
+                if not pending:
+                    continue
+                while pending:
+                    address = pending[0]
+                    line = address // line_bytes
+                    group = prim_groups.get(line)
+                    if group is None:
+                        if claimed >= ports:
+                            break
+                        prim_groups[line] = (address, [ray])
+                        claimed += 1
+                    else:
+                        group[1].append(ray)
+                    pending.pop(0)
+                    ray.prim_lines_outstanding += 1
+                if pending:
+                    continue
+            # The claim succeeded: the ray leaves the ready set.  This is
+            # ``warp.note_unready`` inlined (mask bits are batched below).
+            claimed_mask |= low
+            ray.state = wait_node if ray.state is fetch_ready else wait_prim
+            treelet = ray.treelets[ray.cursor]
+            count = ready_treelets[treelet] - 1
+            if count <= 0:
+                del ready_treelets[treelet]
+            else:
+                ready_treelets[treelet] = count
+        if claimed_mask:
+            warp.ready_mask &= ~claimed_mask
+            warp.ready_count -= bin(claimed_mask).count("1")
+
+        stats = self.stats
+        prefetcher = self.prefetcher
+        memsys = self.memsys
+        sm_id = self.sm_id
+        warp_id = warp.warp_id
+        l1 = self._l1
+        if l1.obs is None and memsys.obs is None:
+            # Fused memory path (tracing disabled — the common case).
+            tracker = self._tracker
+            lstats = l1.stats
+            sets = l1._sets
+            n_sets = l1._n_sets
+            due = cycle + self._l1_latency
+            responses = self._hit_responses
+            hit = AccessOutcome.HIT
+            for address, rays in node_groups.values():
+                stats.node_fetches_issued += 1
+                prefetcher.on_demand_issue(warp_id, address, cycle)
+                line = address // line_bytes
+                set_map = sets.get(line % n_sets)
+                meta = set_map.get(line) if set_map is not None else None
+                if meta is not None:
+                    # Resident hit, inlined from ``Cache.probe``: classify
+                    # on the pre-probe meta, then the probe's hit body.
+                    tracker.on_demand_probe(line, hit, meta, None)
+                    lstats.demand_accesses += 1
+                    lstats.demand_hits += 1
+                    if meta.filled_by_prefetch and not meta.demand_touched:
+                        lstats.demand_hits_on_prefetched += 1
+                    meta.demand_touched = True
+                    set_map.move_to_end(line)
+                    responses.append((due, True, warp, rays, cycle))
+                else:
+                    memsys._l1_access(
+                        sm_id,
+                        address,
+                        cycle,
+                        False,
+                        self._node_miss_response(warp, rays, cycle),
+                    )
+            for address, rays in prim_groups.values():
+                stats.primitive_fetches_issued += 1
+                prefetcher.on_demand_issue(warp_id, address, cycle)
+                line = address // line_bytes
+                set_map = sets.get(line % n_sets)
+                meta = set_map.get(line) if set_map is not None else None
+                if meta is not None:
+                    tracker.on_demand_probe(line, hit, meta, None)
+                    lstats.demand_accesses += 1
+                    lstats.demand_hits += 1
+                    if meta.filled_by_prefetch and not meta.demand_touched:
+                        lstats.demand_hits_on_prefetched += 1
+                    meta.demand_touched = True
+                    set_map.move_to_end(line)
+                    responses.append((due, False, warp, rays, cycle))
+                else:
+                    memsys._l1_access(
+                        sm_id,
+                        address,
+                        cycle,
+                        False,
+                        self._prim_miss_response(warp, rays, cycle),
+                    )
+            return claimed
+        for address, rays in node_groups.values():
+            stats.node_fetches_issued += 1
+            prefetcher.on_demand_issue(warp_id, address, cycle)
+            memsys.access(
+                sm_id,
+                address,
+                cycle,
+                region=REGION_NODE,
+                callback=self._node_response_fast(warp, rays),
+            )
+        for address, rays in prim_groups.values():
+            stats.primitive_fetches_issued += 1
+            prefetcher.on_demand_issue(warp_id, address, cycle)
+            memsys.access(
+                sm_id,
+                address,
+                cycle,
+                region=REGION_PRIMITIVE,
+                callback=self._prim_response_fast(warp, rays),
+            )
+        return claimed
+
     # -- response / op-unit path ---------------------------------------------
+
+    def _mark_dirty(self, callback):
+        def wrapped(cycle: int) -> None:
+            self.dirty = True
+            callback(cycle)
+
+        return wrapped
 
     def _node_response(self, warp: WarpSlot, rays: List[RayTask]):
         def on_data(cycle: int) -> None:
+            self.dirty = True
             for ray in rays:
                 self._node_data_arrived(warp, ray, cycle)
 
@@ -234,6 +606,7 @@ class RTUnit:
 
     def _prim_response(self, warp: WarpSlot, rays: List[RayTask]):
         def on_data(cycle: int) -> None:
+            self.dirty = True
             for ray in rays:
                 ray.prim_lines_outstanding -= 1
                 if (
@@ -245,6 +618,167 @@ class RTUnit:
                     )
 
         return on_data
+
+    def _node_response_fast(self, warp: WarpSlot, rays: List[RayTask]):
+        """Fused :meth:`_node_response`: no dispatch layers, FIFO tests.
+
+        Semantically identical to ``_node_response`` →
+        ``_node_data_arrived`` → ``_start_test``; the box test lands in
+        ``_box_tests`` instead of the event heap.
+        """
+
+        def on_data(cycle: int) -> None:
+            self.dirty = True
+            box_latency = self._box_latency
+            box_tests = self._box_tests
+            for ray in rays:
+                visit = ray.trace.visits[ray.cursor]
+                if visit.is_leaf and visit.primitive_count > 0:
+                    ray.prim_lines_pending = ray.primitive_lines()
+                    ray.prim_lines_outstanding = 0
+                    ray.state = RayState.PRIM_READY
+                    warp.note_ready(ray)
+                else:
+                    ray.state = RayState.TESTING
+                    box_tests.append((cycle + box_latency, warp, ray))
+
+        return on_data
+
+    def _prim_response_fast(self, warp: WarpSlot, rays: List[RayTask]):
+        def on_data(cycle: int) -> None:
+            self.dirty = True
+            prim_latency = self._prim_latency
+            prim_tests = self._prim_tests
+            for ray in rays:
+                ray.prim_lines_outstanding -= 1
+                if (
+                    ray.state is RayState.WAIT_PRIM
+                    and ray.prim_lines_outstanding == 0
+                ):
+                    ray.state = RayState.TESTING
+                    prim_tests.append((cycle + prim_latency, warp, ray))
+
+        return on_data
+
+    def _node_miss_response(
+        self, warp: WarpSlot, rays: List[RayTask], issue_cycle: int
+    ):
+        """Miss-path :meth:`_node_response_fast` that also records the
+        demand latency (the fused issue path bypasses
+        ``MemorySystem._latency_recorder``; tracing is off by the fused
+        path's gate, so only the two latency accumulators remain)."""
+        all_lat = self.memsys.all_demand_latency
+        node_lat = self.memsys.node_demand_latency
+
+        def on_data(cycle: int) -> None:
+            self.dirty = True
+            latency = cycle - issue_cycle
+            all_lat.total_cycles += latency
+            all_lat.count += 1
+            node_lat.total_cycles += latency
+            node_lat.count += 1
+            box_latency = self._box_latency
+            box_tests = self._box_tests
+            for ray in rays:
+                visit = ray.trace.visits[ray.cursor]
+                if visit.is_leaf and visit.primitive_count > 0:
+                    ray.prim_lines_pending = ray.primitive_lines()
+                    ray.prim_lines_outstanding = 0
+                    ray.state = RayState.PRIM_READY
+                    warp.note_ready(ray)
+                else:
+                    ray.state = RayState.TESTING
+                    box_tests.append((cycle + box_latency, warp, ray))
+
+        return on_data
+
+    def _prim_miss_response(
+        self, warp: WarpSlot, rays: List[RayTask], issue_cycle: int
+    ):
+        all_lat = self.memsys.all_demand_latency
+
+        def on_data(cycle: int) -> None:
+            self.dirty = True
+            all_lat.total_cycles += cycle - issue_cycle
+            all_lat.count += 1
+            prim_latency = self._prim_latency
+            prim_tests = self._prim_tests
+            for ray in rays:
+                ray.prim_lines_outstanding -= 1
+                if (
+                    ray.state is RayState.WAIT_PRIM
+                    and ray.prim_lines_outstanding == 0
+                ):
+                    ray.state = RayState.TESTING
+                    prim_tests.append((cycle + prim_latency, warp, ray))
+
+        return on_data
+
+    def run_tests_due(self, cycle: int) -> None:
+        """Deliver every queued hit response and test completion due.
+
+        The batched engine calls this right after the event queue drains
+        for the bucket, so responses and test completions land in the
+        same cycle they would as scalar heap events.  Within one cycle
+        the deliveries commute with each other and with the bucket's
+        heap events: they touch disjoint rays (a queued response's rays
+        wait in WAIT_*, a queued test's ray is TESTING, a fill's waiters
+        are other misses' rays) and all shared counters are additive.
+        """
+        responses = self._hit_responses
+        if responses and responses[0][0] <= cycle:
+            all_lat = self.memsys.all_demand_latency
+            node_lat = self.memsys.node_demand_latency
+            box_latency = self._box_latency
+            prim_latency = self._prim_latency
+            box_tests = self._box_tests
+            prim_tests = self._prim_tests
+            self.dirty = True
+            while responses and responses[0][0] <= cycle:
+                due, is_node, warp, rays, issue = responses.popleft()
+                latency = due - issue
+                all_lat.total_cycles += latency
+                all_lat.count += 1
+                if is_node:
+                    node_lat.total_cycles += latency
+                    node_lat.count += 1
+                    for ray in rays:
+                        visit = ray.trace.visits[ray.cursor]
+                        if visit.is_leaf and visit.primitive_count > 0:
+                            ray.prim_lines_pending = ray.primitive_lines()
+                            ray.prim_lines_outstanding = 0
+                            ray.state = RayState.PRIM_READY
+                            warp.note_ready(ray)
+                        else:
+                            ray.state = RayState.TESTING
+                            box_tests.append((due + box_latency, warp, ray))
+                else:
+                    for ray in rays:
+                        ray.prim_lines_outstanding -= 1
+                        if (
+                            ray.state is RayState.WAIT_PRIM
+                            and ray.prim_lines_outstanding == 0
+                        ):
+                            ray.state = RayState.TESTING
+                            prim_tests.append((due + prim_latency, warp, ray))
+        tests = self._box_tests
+        while tests and tests[0][0] <= cycle:
+            due, warp, ray = tests.popleft()
+            self._test_done(warp, ray, due)
+        tests = self._prim_tests
+        while tests and tests[0][0] <= cycle:
+            due, warp, ray = tests.popleft()
+            self._test_done(warp, ray, due)
+
+    def next_test_cycle(self) -> Optional[int]:
+        """Due cycle of the earliest queued test completion, if any."""
+        box = self._box_tests[0][0] if self._box_tests else None
+        prim = self._prim_tests[0][0] if self._prim_tests else None
+        if box is None:
+            return prim
+        if prim is None or box < prim:
+            return box
+        return prim
 
     def _node_data_arrived(self, warp: WarpSlot, ray: RayTask, cycle: int) -> None:
         visit = ray.current_visit()
@@ -265,17 +799,24 @@ class RTUnit:
         )
 
     def _test_done(self, warp: WarpSlot, ray: RayTask, cycle: int) -> None:
-        old_vote = ray.lookahead_treelet()
+        # Called only for rays in TESTING (never DONE), so the SoA lists
+        # can be indexed directly; the cursor advance is inlined from
+        # :meth:`RayTask.advance` — this runs once per completed visit.
+        self.dirty = True
+        old_vote = ray.lookahead[ray.cursor]
         self.stats.visits_completed += 1
-        ray.advance()
-        if ray.done:
+        cursor = ray.cursor + 1
+        ray.cursor = cursor
+        if cursor >= len(ray.trace.visits):
+            ray.state = RayState.DONE
             warp.note_ray_done(old_vote)
             if old_vote != -1:
                 self.vote_version += 1
-            if warp.done:
+            if warp.done_count >= len(warp.rays):
                 self._retire(warp, cycle)
         else:
-            new_vote = ray.lookahead_treelet()
+            ray.state = RayState.FETCH_READY
+            new_vote = ray.lookahead[cursor]
             if new_vote != old_vote:
                 warp.note_vote_change(old_vote, new_vote)
                 self.vote_version += 1

@@ -30,24 +30,33 @@ def select_warp(
     """
     if policy not in SCHEDULER_NAMES:
         raise ValueError(f"unknown scheduler policy {policy!r}")
-    candidates = [warp for warp in warps if warp.ready_count > 0]
-    if not candidates:
-        return None
     if policy == "baseline" or prefetched_treelet is None:
-        return candidates[0]
-    if policy == "omr":
-        for warp in candidates:
-            if warp.ready_treelet_counts.get(prefetched_treelet, 0) > 0:
+        # Hot path (the default policy runs every cycle of every unit):
+        # oldest ready warp, no candidate list needed.
+        for warp in warps:
+            if warp.ready_count > 0:
                 return warp
-        return candidates[0]
-    # PMR: maximize matching ready rays; age breaks ties.
-    best = max(
-        range(len(candidates)),
-        key=lambda i: (
-            candidates[i].ready_treelet_counts.get(prefetched_treelet, 0),
-            -i,
-        ),
-    )
-    if candidates[best].ready_treelet_counts.get(prefetched_treelet, 0) == 0:
-        return candidates[0]
-    return candidates[best]
+        return None
+    if policy == "omr":
+        # Oldest ready warp with a matching ray; oldest ready otherwise.
+        oldest = None
+        for warp in warps:
+            if warp.ready_count > 0:
+                if warp.ready_treelet_counts.get(prefetched_treelet, 0) > 0:
+                    return warp
+                if oldest is None:
+                    oldest = warp
+        return oldest
+    # PMR: maximize matching ready rays; age breaks ties (the scan is in
+    # age order and only a strictly higher count displaces the leader).
+    oldest = None
+    best = None
+    best_count = 0
+    for warp in warps:
+        if warp.ready_count > 0:
+            if oldest is None:
+                oldest = warp
+            count = warp.ready_treelet_counts.get(prefetched_treelet, 0)
+            if count > best_count:
+                best, best_count = warp, count
+    return best if best is not None else oldest

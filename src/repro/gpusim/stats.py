@@ -78,6 +78,23 @@ class SimStats:
         """Bytes per cycle arriving at L2."""
         return self.l2_bytes / self.cycles if self.cycles else 0.0
 
+    def per_cycle_rates(self) -> Dict[str, float]:
+        """Every headline rate, denominated by one shared cycle base.
+
+        ``cycles`` is set exactly once per ``run()`` — after the
+        trailing event drain (:meth:`EventQueue.drain`) — so the rates
+        here all share that denominator.  Mixing rates computed against
+        different cycle bases (pre-drain DRAM utilization versus
+        post-drain IPC) was the accounting bug this pins against.
+        """
+        return {
+            "ipc": self.ipc,
+            "l2_bandwidth": self.l2_bandwidth,
+            "dram_utilization": self.dram_utilization,
+            "stall_fraction": self.stall_fraction,
+            "mshr_stall_fraction": self.mshr_stall_fraction,
+        }
+
     def l1_breakdown(self) -> Dict[str, float]:
         """Figure 12's stacked bars: fractions of demand node accesses.
 

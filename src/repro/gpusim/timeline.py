@@ -49,6 +49,15 @@ class TimelineSampler:
         if self.interval < 1:
             raise ValueError("sampling interval must be positive")
 
+    @property
+    def next_sample_cycle(self) -> int:
+        """The next grid point at which a sample is due.  The batched
+        replay engine adds this to its wake set so sampled runs keep the
+        per-interval resolution even across otherwise-skippable
+        stretches (sampling stays observational: the extra wake-ups step
+        no units)."""
+        return self._next_sample
+
     def maybe_sample(self, cycle: int, units: Sequence) -> None:
         """Record a sample when the interval has elapsed.
 

@@ -32,7 +32,15 @@ class RayState(Enum):
 
 @dataclass
 class RayTask:
-    """One ray's traversal replay state."""
+    """One ray's traversal replay state.
+
+    Per-visit addresses/treelets/lookahead are structure-of-arrays lists
+    indexed by ``cursor``; the hot paths in the RT unit index them
+    directly instead of chasing layout dicts on every fetch.  Callers
+    that precompute whole batches (``GpuModel.load`` gathers them with
+    one vectorized table lookup per trace) pass ``addresses`` and
+    ``treelets`` in; otherwise they are derived here per ray.
+    """
 
     trace: RayTrace
     bvh: FlatBVH
@@ -42,30 +50,42 @@ class RayTask:
     state: RayState = RayState.FETCH_READY
     prim_lines_pending: List[int] = field(default_factory=list)
     prim_lines_outstanding: int = 0
+    #: position within the owning warp (set by WarpSlot); the batched
+    #: issue path uses it to keep the warp's ready-ray bitmask current.
+    slot_index: int = 0
+    #: byte address of each visit's node (SoA, parallel to trace.visits).
+    addresses: Optional[List[int]] = None
+    #: treelet id of each visit's node (SoA, -1 = no treelet).
+    treelets: Optional[List[int]] = None
+    #: per visit, the next *different* treelet the ray will enter (-1 if
+    #: none).  Hardware knows this from the top of the ray's
+    #: otherTreeletStack; the trace model recovers it by scanning the
+    #: visit sequence.  The majority voter votes on this lookahead so
+    #: prefetches lead demand by one treelet transit.
+    lookahead: Optional[List[int]] = None
 
     def __post_init__(self) -> None:
         if not self.trace.visits:
             self.state = RayState.DONE
-        self._lookahead = self._build_lookahead()
-
-    def _build_lookahead(self) -> List[int]:
-        """For each visit, the next *different* treelet the ray will enter.
-
-        Hardware knows this from the top of the ray's otherTreeletStack;
-        the trace model recovers it by scanning the visit sequence.  The
-        majority voter votes on this lookahead so prefetches lead demand
-        by one treelet transit.
-        """
-        visits = self.trace.visits
-        n = len(visits)
-        treelets = [self.layout.treelet_of(v.node_id) for v in visits]
-        lookahead = [-1] * n
-        for index in range(n - 2, -1, -1):
-            if treelets[index + 1] != treelets[index]:
-                lookahead[index] = treelets[index + 1]
-            else:
-                lookahead[index] = lookahead[index + 1]
-        return lookahead
+        layout = self.layout
+        if self.addresses is None:
+            self.addresses = [
+                layout.address_of(v.node_id) for v in self.trace.visits
+            ]
+        if self.treelets is None:
+            self.treelets = [
+                layout.treelet_of(v.node_id) for v in self.trace.visits
+            ]
+        if self.lookahead is None:
+            treelets = self.treelets
+            n = len(treelets)
+            lookahead = [-1] * n
+            for index in range(n - 2, -1, -1):
+                if treelets[index + 1] != treelets[index]:
+                    lookahead[index] = treelets[index + 1]
+                else:
+                    lookahead[index] = lookahead[index + 1]
+            self.lookahead = lookahead
 
     @property
     def done(self) -> bool:
@@ -75,43 +95,51 @@ class RayTask:
         return self.trace.visits[self.cursor]
 
     def current_node_address(self) -> int:
-        return self.layout.address_of(self.current_visit().node_id)
+        return self.addresses[self.cursor]
 
     def current_treelet(self) -> int:
         """Treelet of the node this ray is fetching / about to fetch."""
         if self.done:
             return -1
-        return self.layout.treelet_of(self.current_visit().node_id)
+        return self.treelets[self.cursor]
 
     def lookahead_treelet(self) -> int:
-        """The next *different* treelet this ray will enter (-1 if none).
-
-        This is the voter's input: it corresponds to the treelet root on
-        top of the ray's otherTreeletStack, so prefetching it runs one
-        treelet transit ahead of the ray's demand stream.
-        """
+        """The next *different* treelet this ray will enter (-1 if none)."""
         if self.done:
             return -1
-        return self._lookahead[self.cursor]
+        return self.lookahead[self.cursor]
 
     def primitive_lines(self) -> List[int]:
-        """Distinct line addresses covering the current leaf's triangles."""
-        visit = self.current_visit()
-        node = self.bvh.node(visit.node_id)
-        lines = []
-        for prim_id in node.primitive_ids:
-            addr = self.layout.primitive_address(prim_id)
-            first = addr // self.line_bytes
-            last = (addr + PRIMITIVE_SIZE_BYTES - 1) // self.line_bytes
-            lines.extend(range(first, last + 1))
-        # Deduplicate, preserving order.
-        seen = set()
-        unique = []
-        for line in lines:
-            if line not in seen:
-                seen.add(line)
-                unique.append(line)
-        return [line * self.line_bytes for line in unique]
+        """Distinct line addresses covering the current leaf's triangles.
+
+        The result depends only on the leaf node and the line size, so it
+        is memoized on the shared layout (every ray of an experiment
+        revisiting a leaf recomputes nothing).  Callers mutate the
+        returned list (it becomes ``prim_lines_pending``), so a copy is
+        handed out.
+        """
+        node_id = self.trace.visits[self.cursor].node_id
+        cache = self.layout.__dict__.setdefault("_prim_lines_cache", {})
+        key = (node_id, self.line_bytes)
+        cached = cache.get(key)
+        if cached is None:
+            node = self.bvh.node(node_id)
+            lines = []
+            for prim_id in node.primitive_ids:
+                addr = self.layout.primitive_address(prim_id)
+                first = addr // self.line_bytes
+                last = (addr + PRIMITIVE_SIZE_BYTES - 1) // self.line_bytes
+                lines.extend(range(first, last + 1))
+            # Deduplicate, preserving order.
+            seen = set()
+            unique = []
+            for line in lines:
+                if line not in seen:
+                    seen.add(line)
+                    unique.append(line)
+            cached = [line * self.line_bytes for line in unique]
+            cache[key] = cached
+        return list(cached)
 
     def advance(self) -> None:
         """Move past the current visit (all its work is complete)."""
@@ -133,7 +161,13 @@ class WarpSlot:
     right now).
     """
 
-    def __init__(self, warp_id: int, rays: List[RayTask], entry_cycle: int) -> None:
+    def __init__(
+        self,
+        warp_id: int,
+        rays: List[RayTask],
+        entry_cycle: int,
+        shared_votes: Optional[Dict[int, int]] = None,
+    ) -> None:
         self.warp_id = warp_id
         self.rays = rays
         self.entry_cycle = entry_cycle
@@ -141,15 +175,29 @@ class WarpSlot:
         self.ready_treelet_counts: Dict[int, int] = defaultdict(int)
         self.ready_count = 0
         self.done_count = 0
-        for ray in rays:
+        #: bitmask over ``rays`` of issue-ready rays (FETCH_READY or
+        #: PRIM_READY) — always ``ready_count`` bits set.  The batched
+        #: issue path iterates set bits instead of scanning the list.
+        self.ready_mask = 0
+        #: optional unit-level merged vote counts this slot mirrors its
+        #: alive-count mutations into, so the majority voter reads one
+        #: dict instead of re-merging every warp per decision.  Kept
+        #: exactly equal to the sum of the buffer warps' counts (zero
+        #: entries are deleted, matching :meth:`_dec`).
+        self._shared_votes = shared_votes
+        for index, ray in enumerate(rays):
+            ray.slot_index = index
             if ray.done:
                 self.done_count += 1
                 continue
             vote = ray.lookahead_treelet()
             if vote != -1:
                 self.alive_treelet_counts[vote] += 1
+                if shared_votes is not None:
+                    shared_votes[vote] = shared_votes.get(vote, 0) + 1
             if ray.state is RayState.FETCH_READY:
                 self.ready_count += 1
+                self.ready_mask |= 1 << index
                 self.ready_treelet_counts[ray.current_treelet()] += 1
 
     @property
@@ -169,10 +217,12 @@ class WarpSlot:
 
     def note_ready(self, ray: RayTask) -> None:
         self.ready_count += 1
+        self.ready_mask |= 1 << ray.slot_index
         self.ready_treelet_counts[ray.current_treelet()] += 1
 
     def note_unready(self, ray: RayTask, treelet: int) -> None:
         self.ready_count -= 1
+        self.ready_mask &= ~(1 << ray.slot_index)
         self._dec(self.ready_treelet_counts, treelet)
 
     def note_vote_change(self, old: int, new: int) -> None:
@@ -181,10 +231,27 @@ class WarpSlot:
             self._dec(self.alive_treelet_counts, old)
         if new != -1:
             self.alive_treelet_counts[new] += 1
+        shared = self._shared_votes
+        if shared is not None:
+            if old != -1:
+                count = shared[old] - 1
+                if count <= 0:
+                    del shared[old]
+                else:
+                    shared[old] = count
+            if new != -1:
+                shared[new] = shared.get(new, 0) + 1
 
     def note_ray_done(self, old_vote: int) -> None:
         if old_vote != -1:
             self._dec(self.alive_treelet_counts, old_vote)
+            shared = self._shared_votes
+            if shared is not None:
+                count = shared[old_vote] - 1
+                if count <= 0:
+                    del shared[old_vote]
+                else:
+                    shared[old_vote] = count
         self.done_count += 1
 
     @staticmethod

@@ -52,6 +52,14 @@ class AdaptiveThrottle:
         self._last = EffectivenessCounts()
         self.adjustments = 0
 
+    @property
+    def next_epoch_cycle(self) -> int:
+        """The next epoch boundary (cycle at which :meth:`on_cycle` will
+        sample the counters).  Replay engines that skip cycles must make
+        sure the owner still ticks the controller at exactly this cycle,
+        or the epoch grid would drift with the skipping pattern."""
+        return self._next_epoch
+
     def on_cycle(self, cycle: int, counts: EffectivenessCounts) -> None:
         """Advance the controller; ``counts`` are cumulative."""
         if cycle < self._next_epoch:

@@ -61,6 +61,10 @@ class TreeletPrefetcher(Prefetcher):
         self.mapping_mode = mapping_mode
         self.queue_limit = queue_limit
         self._queue: Deque[PrefetchRequest] = deque()
+        #: premerged vote counts maintained by the owning RT unit (set
+        #: right after construction); None falls back to re-merging the
+        #: warps on every decision.  Identical decisions either way.
+        self.vote_counts: Optional[dict] = None
         self._next_decision_cycle = 0
         self._last_version = -2  # warp-buffer state version last voted on
         self._strict_outstanding = 0  # Strict Wait mapping loads in flight
@@ -76,7 +80,7 @@ class TreeletPrefetcher(Prefetcher):
             return  # identical warp-buffer state -> identical decision
         self._next_decision_cycle = cycle + self.voter.period
         self._last_version = version
-        decision = self.voter.decide(warps, cycle)
+        decision = self.voter.decide(warps, cycle, counts=self.vote_counts)
         if decision is None:
             return
         winner, popularity, total_votes = decision
@@ -137,6 +141,28 @@ class TreeletPrefetcher(Prefetcher):
 
     def queue_depth(self) -> int:
         return len(self._queue)
+
+    def next_activity_cycle(self, cycle: int, version: int) -> Optional[int]:
+        """Self-scheduled activity: the queue head's release gate, the
+        pending decision once the warp-buffer version has moved, and the
+        adaptive throttle's next epoch boundary.  Strict Wait mode holds
+        decisions back until the table loads return (an event, so the
+        RT unit is woken through the completion callback instead)."""
+        nxt: Optional[int] = None
+        if self._queue:
+            head = self._queue[0].release_cycle
+            nxt = head if head > cycle else cycle + 1
+        if self.adaptive is not None:
+            epoch = self.adaptive.next_epoch_cycle
+            candidate = epoch if epoch > cycle else cycle + 1
+            if nxt is None or candidate < nxt:
+                nxt = candidate
+        if not self._strict_outstanding and version != self._last_version:
+            gate = self._next_decision_cycle
+            candidate = gate if gate > cycle else cycle + 1
+            if nxt is None or candidate < nxt:
+                nxt = candidate
+        return nxt
 
     # -- internals --------------------------------------------------------
 

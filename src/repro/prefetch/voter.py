@@ -102,7 +102,7 @@ class MajorityVoter:
         return max(1, self.latency)
 
     def decide(
-        self, warps: Iterable, cycle: int = 0
+        self, warps: Iterable, cycle: int = 0, counts=None
     ) -> Optional[Tuple[int, int, int]]:
         """Return ``(winner_treelet, popularity, total_votes)`` or None.
 
@@ -112,15 +112,34 @@ class MajorityVoter:
         "ones counter" output) and ``total_votes`` the number of rays
         that voted — the denominator the popularity heuristics use.
         ``cycle`` is observational only (it timestamps trace events).
+
+        ``counts`` is an optional premerged vote-count mapping (treelet
+        -> alive rays voting for it, no ``-1`` key, no zero entries —
+        the RT unit maintains one incrementally).  When given it must
+        equal the merge over ``warps`` and replaces the per-decision
+        re-merge; the decision is identical either way.
         """
-        warps = list(warps)
-        merged: Counter = Counter()
-        for warp in warps:
-            merged.update(warp.alive_treelet_counts)
-        merged.pop(-1, None)  # rays with no treelet info
-        if not merged:
-            return None
-        full_winner = min(merged, key=lambda t: (-merged[t], t))
+        if counts is not None:
+            if not counts:
+                return None
+            merged = counts  # read-only: never mutated here
+            total_votes = 0
+            full_winner = -1
+            best = 0
+            for treelet, count in merged.items():
+                total_votes += count
+                if count > best or (count == best and treelet < full_winner):
+                    full_winner, best = treelet, count
+        else:
+            warps = list(warps)
+            merged = Counter()
+            for warp in warps:
+                merged.update(warp.alive_treelet_counts)
+            merged.pop(-1, None)  # rays with no treelet info
+            if not merged:
+                return None
+            total_votes = sum(merged.values())
+            full_winner = min(merged, key=lambda t: (-merged[t], t))
         if self.mode == "full":
             winner = full_winner
         else:
@@ -152,7 +171,7 @@ class MajorityVoter:
                     "full_winner": full_winner,
                     "agreed": winner == full_winner,
                     "popularity": merged[winner],
-                    "total_votes": sum(merged.values()),
+                    "total_votes": total_votes,
                 },
             )
-        return winner, merged[winner], sum(merged.values())
+        return winner, merged[winner], total_votes

@@ -1,0 +1,252 @@
+"""Golden bit-identity suite for the replay engines (the PR's contract).
+
+The batched event-engine and the scalar per-cycle oracle must produce
+bit-identical ``SimStats`` — every counter, every rate — on every scene,
+scheduler policy, prefetch technique preset, and fast-forward setting.
+The batched engine may reorganize *how* work is simulated (time buckets,
+per-unit test FIFOs, fused memory callbacks) but never *what* happens in
+any cycle.
+
+Also pinned here, because both engines must agree on them:
+
+* the per-run deadlock guard (``max_cycles`` bounds one ``run()``, not
+  the cumulative cycle counter, so multi-frame sessions never trip it);
+* fast-forward bit-identity (a host-time optimization of the scalar
+  loop only — enabling it changes nothing, and the batched engine does
+  not need it);
+* the trailing-event drain: ``stats.cycles`` equals the post-drain
+  cycle base used to denominate DRAM utilization, identically in both
+  backends;
+* cumulative semantics: statistics accumulate across ``load()``/
+  ``run()`` rounds and ``run_frame`` deltas sum to the cumulative
+  cycle counter.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.pipeline import (
+    BASELINE,
+    SMOKE,
+    TREELET_PREFETCH,
+    Technique,
+    build_gpu_model,
+)
+from repro.gpusim import REPLAY_BACKENDS, SimulationLimitError
+from repro.scenes import ALL_SCENES
+
+#: Technique presets covering every scheduler policy, voter mode,
+#: heuristic, mapping mode, and prefetcher family the model supports.
+PRESETS = {
+    "baseline": BASELINE,
+    "treelet-prefetch": TREELET_PREFETCH,
+    "tp-omr": dataclasses.replace(TREELET_PREFETCH, scheduler="omr"),
+    "tp-baseline-sched": dataclasses.replace(
+        TREELET_PREFETCH, scheduler="baseline"
+    ),
+    "tp-adaptive": dataclasses.replace(TREELET_PREFETCH, adaptive=True),
+    "tp-voter-latency": dataclasses.replace(
+        TREELET_PREFETCH, voter_latency=8
+    ),
+    "mapping-loose": dataclasses.replace(
+        TREELET_PREFETCH, layout="dfs", mapping_mode="loose"
+    ),
+    "mapping-strict": dataclasses.replace(
+        TREELET_PREFETCH, layout="dfs", mapping_mode="strict"
+    ),
+    "mta": dataclasses.replace(TREELET_PREFETCH, prefetch="mta"),
+    "stride": Technique(prefetch="stride"),
+    "ghb": Technique(prefetch="ghb"),
+    "traversal-only": dataclasses.replace(TREELET_PREFETCH, prefetch=None),
+}
+
+
+def _config(backend, **overrides):
+    return dataclasses.replace(
+        SMOKE.gpu_config(), replay_backend=backend, **overrides
+    )
+
+
+def _run(scene, technique, backend, fast_forward=True, **config_overrides):
+    """One smoke-scale replay; returns the stats as a plain dict."""
+    model, _, _, _ = build_gpu_model(
+        scene,
+        technique,
+        SMOKE,
+        _config(backend, **config_overrides),
+        enable_fast_forward=fast_forward,
+    )
+    return dataclasses.asdict(model.run())
+
+
+class TestGoldenBitIdentity:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_preset_matrix(self, name):
+        technique = PRESETS[name]
+        assert _run("CAR", technique, "batched") == _run(
+            "CAR", technique, "scalar"
+        )
+
+    @pytest.mark.parametrize("scene", ALL_SCENES)
+    @pytest.mark.parametrize(
+        "name", ["baseline", "treelet-prefetch"]
+    )
+    def test_all_scenes(self, scene, name):
+        technique = PRESETS[name]
+        assert _run(scene, technique, "batched") == _run(
+            scene, technique, "scalar"
+        )
+
+    def test_stream_buffer_destination(self):
+        batched = _run(
+            "WKND", TREELET_PREFETCH, "batched",
+            prefetch_destination="stream",
+        )
+        scalar = _run(
+            "WKND", TREELET_PREFETCH, "scalar",
+            prefetch_destination="stream",
+        )
+        assert batched == scalar
+
+
+class TestFastForward:
+    """Satellite: fast-forward stall accounting is exact.
+
+    The jump credits the skipped cycles as stalls; if the accounting
+    drifted, prefetch-enabled configs (whose prefetchers self-schedule
+    activity inside stalled stretches) would diverge first.
+    """
+
+    @pytest.mark.parametrize("backend", REPLAY_BACKENDS)
+    @pytest.mark.parametrize(
+        "name", ["treelet-prefetch", "tp-adaptive", "mapping-strict"]
+    )
+    def test_bit_identity(self, backend, name):
+        technique = PRESETS[name]
+        assert _run("WKND", technique, backend, fast_forward=True) == _run(
+            "WKND", technique, backend, fast_forward=False
+        )
+
+
+class TestDeadlockGuard:
+    """Satellite: ``max_cycles`` bounds one run, not the session."""
+
+    @pytest.mark.parametrize("backend", REPLAY_BACKENDS)
+    def test_multi_frame_session_never_trips(self, backend):
+        # Measure one frame, then replay several frames on a model whose
+        # budget covers any single frame but not their sum.  A guard
+        # keyed to the cumulative counter would (wrongly) trip here.
+        model, traces, bvh, layout = build_gpu_model(
+            "WKND", TREELET_PREFETCH, SMOKE, _config(backend)
+        )
+        frame_cycles = model.run().cycles
+        budget = 2 * frame_cycles
+        model, traces, bvh, layout = build_gpu_model(
+            "WKND",
+            TREELET_PREFETCH,
+            SMOKE,
+            _config(backend, max_cycles=budget),
+        )
+        total = model.run().cycles
+        for _ in range(3):
+            delta = model.run_frame(traces, bvh, layout)
+            assert 0 < delta <= budget
+            total += delta
+        assert total > budget  # the session really exceeded one budget
+        assert model._current_cycle == total
+
+    @pytest.mark.parametrize("backend", REPLAY_BACKENDS)
+    def test_guard_still_fires(self, backend):
+        model, _, _, _ = build_gpu_model(
+            "WKND",
+            TREELET_PREFETCH,
+            SMOKE,
+            _config(backend, max_cycles=5),
+        )
+        with pytest.raises(SimulationLimitError):
+            model.run()
+
+
+class TestTrailingDrain:
+    """Satellite: the post-run event drain sets the cycle base."""
+
+    @pytest.mark.parametrize("backend", REPLAY_BACKENDS)
+    def test_cycle_base_consistency(self, backend):
+        model, _, _, _ = build_gpu_model(
+            "WKND", TREELET_PREFETCH, SMOKE, _config(backend)
+        )
+        stats = model.run()
+        # The drain ran to empty and advanced the cumulative counter.
+        assert len(model.events) == 0
+        assert model.memsys.drain_complete()
+        assert stats.cycles == model._current_cycle
+        # Every rate is denominated by the drained cycle base.
+        assert stats.dram_utilization == model.memsys.dram.stats.utilization(
+            stats.cycles
+        )
+        rates = stats.per_cycle_rates()
+        assert rates["ipc"] == stats.visits_completed / stats.cycles
+        assert rates["l2_bandwidth"] == stats.l2_bytes / stats.cycles
+        assert rates["dram_utilization"] == stats.dram_utilization
+
+    def test_backends_agree_on_base(self):
+        runs = {
+            backend: _run("SHIP", TREELET_PREFETCH, backend)
+            for backend in REPLAY_BACKENDS
+        }
+        assert runs["batched"]["cycles"] == runs["scalar"]["cycles"]
+        assert (
+            runs["batched"]["dram_utilization"]
+            == runs["scalar"]["dram_utilization"]
+        )
+
+
+class TestCumulativeSemantics:
+    """Satellite: stats accumulate across load/run rounds."""
+
+    @pytest.mark.parametrize("backend", REPLAY_BACKENDS)
+    def test_two_rounds_accumulate(self, backend):
+        model, traces, bvh, layout = build_gpu_model(
+            "WKND", TREELET_PREFETCH, SMOKE, _config(backend)
+        )
+        first = model.run()
+        model.load(traces, bvh, layout)
+        second = model.run()
+        assert second.visits_completed == 2 * first.visits_completed
+        assert second.ray_count == 2 * first.ray_count
+        assert second.cycles > first.cycles
+        assert second.cycles == model._current_cycle
+
+    def test_two_rounds_bit_identical_across_backends(self):
+        results = {}
+        for backend in REPLAY_BACKENDS:
+            model, traces, bvh, layout = build_gpu_model(
+                "WKND", TREELET_PREFETCH, SMOKE, _config(backend)
+            )
+            model.run()
+            model.load(traces, bvh, layout)
+            results[backend] = dataclasses.asdict(model.run())
+        assert results["batched"] == results["scalar"]
+
+    @pytest.mark.parametrize("backend", REPLAY_BACKENDS)
+    def test_run_frame_deltas_sum_to_cycle_counter(self, backend):
+        model, traces, bvh, layout = build_gpu_model(
+            "WKND", TREELET_PREFETCH, SMOKE, _config(backend)
+        )
+        deltas = [model.run().cycles]
+        for _ in range(2):
+            deltas.append(model.run_frame(traces, bvh, layout))
+        assert sum(deltas) == model._current_cycle
+
+    def test_frame_deltas_agree_across_backends(self):
+        deltas = {}
+        for backend in REPLAY_BACKENDS:
+            model, traces, bvh, layout = build_gpu_model(
+                "WKND", TREELET_PREFETCH, SMOKE, _config(backend)
+            )
+            first = model.run().cycles
+            deltas[backend] = [first] + [
+                model.run_frame(traces, bvh, layout) for _ in range(2)
+            ]
+        assert deltas["batched"] == deltas["scalar"]

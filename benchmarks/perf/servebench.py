@@ -158,7 +158,7 @@ def bench_serve(
     config = ServeConfig(port=0, workers=workers, cache_dir=None)
     with ServiceUnderTest(config) as host:
         # Cold: first request ever — builds artifacts, batch of one.
-        cold_payload = mix[0].payload()
+        cold_payload = mix[0].submit().to_wire()
         start = time.monotonic()
         status, _headers, document = host.post_run(cold_payload)
         cold_s = time.monotonic() - start

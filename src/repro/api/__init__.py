@@ -19,17 +19,19 @@ spec strings (see :func:`parse_technique`); scales as
 here — results are identical.  See ``docs/api.md``.
 """
 
-from .facade import RunRequest, RunResult, compare, run, sweep
+from .facade import RunRequest, RunResult, SweepRequest, compare, run, sweep
 from .techniques import (
     TECHNIQUE_PRESETS,
     describe_techniques,
     parse_technique,
     technique_fields,
+    technique_to_spec,
 )
 
 __all__ = [
     "RunRequest",
     "RunResult",
+    "SweepRequest",
     "TECHNIQUE_PRESETS",
     "compare",
     "describe_techniques",
@@ -37,4 +39,5 @@ __all__ = [
     "run",
     "sweep",
     "technique_fields",
+    "technique_to_spec",
 ]

@@ -32,7 +32,7 @@ from ..core.pipeline import (
 )
 from ..core.sweeps import SceneOutcome, SweepResult
 from ..obs.spans import span as _span
-from .techniques import parse_technique
+from .techniques import _suggest, parse_technique, technique_to_spec
 
 _SCALES_BY_NAME: Dict[str, Scale] = {
     "smoke": SMOKE,
@@ -65,6 +65,52 @@ def _default_scenes() -> List[str]:
     return list(ALL_SCENES)
 
 
+def _scale_name(scale: ScaleLike) -> str:
+    return _coerce_scale(scale).name
+
+
+def _check_fields(payload: dict, known: tuple, ignore: tuple,
+                  what: str) -> dict:
+    """Filter ``payload`` down to ``known`` keys, rejecting unknowns
+    with the same near-miss suggestions :func:`parse_technique` gives
+    (``ignore`` keys — transport-level fields a caller layers on top —
+    are skipped but still count as suggestion candidates)."""
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{what} document must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    data = {}
+    candidates = (*known, *ignore)
+    for key, value in payload.items():
+        if key in ignore:
+            continue
+        if key not in known:
+            raise ValueError(
+                f"unknown {what} field {key!r}{_suggest(key, candidates)} "
+                f"(known: {', '.join(known)})"
+            )
+        data[key] = value
+    return data
+
+
+def _check_str(data: dict, key: str, what: str,
+               required: bool = False) -> None:
+    if required and key not in data:
+        raise ValueError(f"{what} document is missing required {key!r}")
+    if key in data and not isinstance(data[key], str):
+        raise ValueError(
+            f"{what} field {key!r} must be a string, "
+            f"got {type(data[key]).__name__}"
+        )
+
+
+_RUN_WIRE_FIELDS = (
+    "scene", "technique", "scale", "cache", "trace_backend",
+    "replay_backend",
+)
+
+
 @dataclass(frozen=True)
 class RunRequest:
     """Everything one evaluation needs, as data.
@@ -77,6 +123,11 @@ class RunRequest:
     default).  ``replay_backend`` likewise forces the "batched" or
     "scalar" replay engine (bit-identical statistics; None uses
     ``$REPRO_REPLAY_BACKEND`` and then the config default, "batched").
+
+    :meth:`to_dict` / :meth:`from_dict` round-trip the request through
+    JSON (techniques as spec strings, scales by name) so services can
+    forward it losslessly; ``gpu_config`` and ``observer`` are live
+    objects and deliberately have no wire form.
     """
 
     scene: str
@@ -87,6 +138,119 @@ class RunRequest:
     observer: Optional[object] = None
     trace_backend: Optional[str] = None
     replay_backend: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """The JSON-safe form of this request (defaults elided).
+
+        Raises ``ValueError`` if the request carries live objects
+        (``gpu_config``, ``observer``) that cannot travel as JSON.
+        """
+        if self.gpu_config is not None:
+            raise ValueError(
+                "RunRequest.gpu_config does not serialize; configure the "
+                "GPU model on the evaluating side"
+            )
+        if self.observer is not None:
+            raise ValueError("RunRequest.observer does not serialize")
+        doc: Dict[str, object] = {
+            "scene": self.scene,
+            "technique": technique_to_spec(self.technique),
+            "scale": _scale_name(self.scale),
+        }
+        if not self.cache:
+            doc["cache"] = False
+        if self.trace_backend is not None:
+            doc["trace_backend"] = self.trace_backend
+        if self.replay_backend is not None:
+            doc["replay_backend"] = self.replay_backend
+        return doc
+
+    @classmethod
+    def from_dict(cls, payload: dict, *,
+                  ignore: tuple = ()) -> "RunRequest":
+        """Parse a :meth:`to_dict` document (strictly).
+
+        Unknown keys raise ``ValueError`` with a near-miss suggestion;
+        ``ignore`` names transport-level keys a carrier protocol layers
+        on top (they are skipped, not errors).  Technique and scale are
+        validated eagerly so a bad spec fails here, not mid-run.
+        """
+        data = _check_fields(payload, _RUN_WIRE_FIELDS, ignore, "RunRequest")
+        _check_str(data, "scene", "RunRequest", required=True)
+        for key in ("technique", "scale", "trace_backend", "replay_backend"):
+            _check_str(data, key, "RunRequest")
+        if "cache" in data and not isinstance(data["cache"], bool):
+            raise ValueError(
+                "RunRequest field 'cache' must be a boolean, "
+                f"got {type(data['cache']).__name__}"
+            )
+        request = cls(**data)
+        _coerce_technique(request.technique)
+        _coerce_scale(request.scale)
+        return request
+
+
+_SWEEP_WIRE_FIELDS = ("technique", "scenes", "scale", "baseline", "jobs")
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A sweep, as data: one technique against a baseline over scenes.
+
+    The typed counterpart of :func:`sweep`'s keyword surface, with the
+    same JSON round-trip contract as :class:`RunRequest`
+    (:meth:`to_dict` / :meth:`from_dict`).  ``scenes=None`` means the
+    full scene library, resolved at evaluation time.
+    """
+
+    technique: TechniqueLike
+    scenes: Optional[tuple] = None
+    scale: ScaleLike = DEFAULT
+    baseline: TechniqueLike = BASELINE
+    jobs: int = 1
+
+    def to_dict(self) -> dict:
+        doc: Dict[str, object] = {
+            "technique": technique_to_spec(self.technique),
+            "scale": _scale_name(self.scale),
+        }
+        if self.scenes is not None:
+            doc["scenes"] = list(self.scenes)
+        baseline_spec = technique_to_spec(self.baseline)
+        if baseline_spec != "baseline":
+            doc["baseline"] = baseline_spec
+        if self.jobs != 1:
+            doc["jobs"] = self.jobs
+        return doc
+
+    @classmethod
+    def from_dict(cls, payload: dict, *,
+                  ignore: tuple = ()) -> "SweepRequest":
+        data = _check_fields(
+            payload, _SWEEP_WIRE_FIELDS, ignore, "SweepRequest"
+        )
+        _check_str(data, "technique", "SweepRequest", required=True)
+        _check_str(data, "baseline", "SweepRequest")
+        _check_str(data, "scale", "SweepRequest")
+        if "scenes" in data:
+            scenes = data["scenes"]
+            if (not isinstance(scenes, (list, tuple))
+                    or not all(isinstance(s, str) for s in scenes)):
+                raise ValueError(
+                    "SweepRequest field 'scenes' must be a list of "
+                    "scene names"
+                )
+            data["scenes"] = tuple(scenes)
+        if "jobs" in data:
+            if not isinstance(data["jobs"], int) or data["jobs"] < 1:
+                raise ValueError(
+                    "SweepRequest field 'jobs' must be a positive integer"
+                )
+        request = cls(**data)
+        _coerce_technique(request.technique)
+        _coerce_technique(request.baseline)
+        _coerce_scale(request.scale)
+        return request
 
 
 @dataclass
@@ -217,7 +381,17 @@ def sweep(
     vectorized forest driver first.  Per-scene ``SimStats`` are
     bit-identical either way.  ``progress`` is the executor's
     ``(done, total, job, source)`` callback (parallel path only).
+
+    A single :class:`SweepRequest` may be passed in place of
+    ``technique`` (mirroring :func:`run` and :class:`RunRequest`).
     """
+    if isinstance(technique, SweepRequest):
+        request = technique
+        technique = request.technique
+        scenes = request.scenes
+        scale = request.scale
+        baseline = request.baseline
+        jobs = request.jobs
     resolved = _coerce_technique(technique)
     base = _coerce_technique(baseline)
     resolved_scale = _coerce_scale(scale)

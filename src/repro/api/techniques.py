@@ -150,6 +150,53 @@ def parse_technique(spec: Union[str, Technique]) -> Technique:
     return replace(base, **overrides)
 
 
+def _heuristic_spec(heuristic: PrefetchHeuristic) -> str:
+    if heuristic.kind == "popularity":
+        return f"popularity:{heuristic.threshold!r}"
+    return heuristic.kind
+
+
+def technique_to_spec(technique: Union[str, Technique]) -> str:
+    """Render a :class:`Technique` as a spec string, losslessly.
+
+    The inverse of :func:`parse_technique`:
+    ``parse_technique(technique_to_spec(t)) == t`` for any technique
+    the grammar can express (verified before returning).  Picks the
+    preset needing the fewest overrides, so common configurations
+    serialize to their short names (``"treelet-prefetch"``) and the
+    wire carries specs, not pickles.
+    """
+    from dataclasses import fields as dataclass_fields
+
+    technique = parse_technique(technique)
+    best_name = None
+    best_overrides: List[str] = []
+    for name, preset in TECHNIQUE_PRESETS.items():
+        overrides = []
+        for spec_field in dataclass_fields(Technique):
+            value = getattr(technique, spec_field.name)
+            if value == getattr(preset, spec_field.name):
+                continue
+            if spec_field.name == "heuristic":
+                overrides.append(f"heuristic={_heuristic_spec(value)}")
+            elif spec_field.name in _BOOL_FIELDS:
+                overrides.append(
+                    f"{spec_field.name}={'true' if value else 'false'}"
+                )
+            elif value is None:
+                overrides.append(f"{spec_field.name}=none")
+            else:
+                overrides.append(f"{spec_field.name}={value}")
+        if best_name is None or len(overrides) < len(best_overrides):
+            best_name, best_overrides = name, overrides
+    spec = ",".join([best_name, *best_overrides])
+    if parse_technique(spec) != technique:
+        raise ValueError(
+            f"technique {technique!r} cannot be expressed as a spec string"
+        )
+    return spec
+
+
 def describe_techniques() -> List[Tuple[str, str, str]]:
     """``(preset, label, note)`` rows for every registered preset."""
     return [

@@ -1,0 +1,37 @@
+"""Warn-once deprecation policy for legacy shims.
+
+Every deprecated entry point funnels through :func:`warn_once`, keyed
+by the shim's dotted name, so a process that calls a legacy alias in a
+tight loop (a sweep driver iterating scenes, a notebook cell re-run)
+emits exactly one ``DeprecationWarning`` instead of one per call.
+Tests that assert on the warning call :func:`reset` first so the
+warning is observable again regardless of what ran earlier in the
+process.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+_seen: set = set()
+_lock = threading.Lock()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` once per process.
+
+    ``stacklevel`` defaults to 3 so the warning points at the *caller
+    of the shim*, not the shim or this helper.
+    """
+    with _lock:
+        if key in _seen:
+            return
+        _seen.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset() -> None:
+    """Forget which warnings fired (test hook)."""
+    with _lock:
+        _seen.clear()

@@ -827,13 +827,12 @@ def run_experiment(
     Kept as a thin shim for existing callers; new code should use the
     :mod:`repro.api` facade.
     """
-    import warnings
+    from .deprecation import warn_once
 
-    warnings.warn(
+    warn_once(
+        "repro.core.pipeline.run_experiment",
         "repro.core.pipeline.run_experiment is deprecated; "
         "use repro.api.run",
-        DeprecationWarning,
-        stacklevel=2,
     )
     return _run_experiment(
         scene_name,

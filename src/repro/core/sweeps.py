@@ -97,12 +97,11 @@ def run_sweep(
     progress=None,
 ) -> SweepResult:
     """Deprecated alias for :func:`repro.api.sweep` (same results)."""
-    import warnings
+    from .deprecation import warn_once
 
-    warnings.warn(
+    warn_once(
+        "repro.core.sweeps.run_sweep",
         "repro.core.sweeps.run_sweep is deprecated; use repro.api.sweep",
-        DeprecationWarning,
-        stacklevel=2,
     )
     from ..api import sweep
 
@@ -124,13 +123,12 @@ def compare_techniques(
     progress=None,
 ) -> Dict[str, SweepResult]:
     """Deprecated alias for :func:`repro.api.compare` (same results)."""
-    import warnings
+    from .deprecation import warn_once
 
-    warnings.warn(
+    warn_once(
+        "repro.core.sweeps.compare_techniques",
         "repro.core.sweeps.compare_techniques is deprecated; "
         "use repro.api.compare",
-        DeprecationWarning,
-        stacklevel=2,
     )
     from ..api import compare
 

@@ -323,13 +323,12 @@ def run_sweep_parallel(
 ):
     """Deprecated alias for ``repro.api.sweep(..., jobs=N)`` (same
     results)."""
-    import warnings
+    from ..core.deprecation import warn_once
 
-    warnings.warn(
+    warn_once(
+        "repro.exec.run_sweep_parallel",
         "repro.exec.run_sweep_parallel is deprecated; "
         "use repro.api.sweep(..., jobs=N)",
-        DeprecationWarning,
-        stacklevel=2,
     )
     from ..api import sweep
 
@@ -353,13 +352,12 @@ def compare_techniques_parallel(
 ):
     """Deprecated alias for ``repro.api.compare(..., jobs=N)`` (same
     results)."""
-    import warnings
+    from ..core.deprecation import warn_once
 
-    warnings.warn(
+    warn_once(
+        "repro.exec.compare_techniques_parallel",
         "repro.exec.compare_techniques_parallel is deprecated; "
         "use repro.api.compare(..., jobs=N)",
-        DeprecationWarning,
-        stacklevel=2,
     )
     from ..api import compare
 

@@ -1,66 +1,97 @@
-"""repro.serve — the async simulation service and its load generator.
+"""repro.serve — async simulation service, shard router, and load tools.
 
-The long-running entry point the ROADMAP's traffic-serving goal calls
-for: a stdlib-only asyncio HTTP/JSON server that exposes the
-:mod:`repro.api` facade as a job-oriented API with micro-batched
-scheduling, bounded-queue backpressure (429 + ``Retry-After``),
-per-request deadlines, cancellation, graceful drain on SIGTERM, and an
-in-memory LRU result cache over the on-disk artifact cache.
+The long-running entry points the ROADMAP's traffic-serving goal calls
+for, all speaking the versioned ``repro.serve/1`` wire protocol:
+
+* :class:`SimulationService` — a stdlib-only asyncio HTTP/JSON server
+  that exposes the :mod:`repro.api` facade as a job-oriented API with
+  micro-batched scheduling, bounded-queue backpressure (429 +
+  ``Retry-After``), per-request deadlines, cancellation, graceful
+  drain on SIGTERM, and an in-memory LRU result cache over the on-disk
+  artifact cache.
+* :class:`SceneShardRouter` — fronts N service replicas, sharding by
+  scene fingerprint (rendezvous hashing) with health-check ejection,
+  retry-with-backoff failover, bounded in-flight budgets, and
+  aggregated ``/metrics`` and trace views.
+* :mod:`repro.serve.scenarios` — declarative JSON/YAML load scenarios
+  executed through the open-loop generator in
+  :mod:`repro.serve.loadgen`, emitting ``repro.bench/1`` capacity
+  reports with SLO verdicts.
 
 Typical use::
 
-    # terminal 1
-    $ repro serve --port 8077 --workers 2
+    # terminals 1-3: replicas
+    $ repro serve --port 8081 --workers 2   # ... 8082, 8083
 
-    # terminal 2
-    $ repro loadgen --port 8077 --qps 16 --requests 200
+    # terminal 4: router
+    $ repro router --port 8078 --replica 127.0.0.1:8081 \
+          --replica 127.0.0.1:8082 --replica 127.0.0.1:8083
 
-or in-process::
+    # terminal 5: capacity scenario against the router
+    $ repro scenarios run benchmarks/perf/scenarios/smoke.json --port 8078
 
-    from repro.serve import ServeConfig, SimulationService
-
-    service = SimulationService(ServeConfig(port=0))
-    await service.start()
-    print(service.port)
-    await service.serve_forever()
-
-See ``docs/serving.md`` for endpoint and batching semantics, and
-``benchmarks/perf/servebench.py`` for the QPS-sweep benchmark that
+See ``docs/serving.md`` for endpoint, batching, and routing semantics,
+and ``benchmarks/perf/servebench.py`` for the QPS-sweep benchmark that
 produces ``BENCH_serve.json``.
 """
 
 from .cache import ResultLRU
+from .client import (
+    AsyncServeClient,
+    Response,
+    ServeClient,
+    TransportError,
+    http_request_json,
+)
 from .loadgen import (
+    ARRIVAL_PROCESSES,
     LoadGenConfig,
     LoadReport,
     RequestOutcome,
     RequestTemplate,
-    http_request_json,
     run_loadgen,
     run_loadgen_async,
 )
 from .protocol import (
     CANCELLED,
     DONE,
+    ErrorDocument,
     FAILED,
+    JobDocument,
     JobRecord,
     PROTOCOL_SCHEMA,
     QUEUED,
     RUNNING,
     RunSpec,
+    SCHEMA_HEADER,
     ServeError,
+    SubmitRequest,
     SweepSpec,
+    TERMINAL_STATES,
     TIMEOUT,
+    WireError,
     normalize_run,
     normalize_sweep,
+)
+from .router import RouterConfig, SceneShardRouter
+from .scenarios import (
+    SCENARIO_SCHEMA,
+    Scenario,
+    ScenarioError,
+    SLOTarget,
+    run_scenario,
 )
 from .scheduler import MicroBatchScheduler
 from .service import ServeConfig, SimulationService
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
+    "AsyncServeClient",
     "CANCELLED",
     "DONE",
+    "ErrorDocument",
     "FAILED",
+    "JobDocument",
     "JobRecord",
     "LoadGenConfig",
     "LoadReport",
@@ -70,16 +101,30 @@ __all__ = [
     "RUNNING",
     "RequestOutcome",
     "RequestTemplate",
+    "Response",
     "ResultLRU",
+    "RouterConfig",
     "RunSpec",
+    "SCENARIO_SCHEMA",
+    "SCHEMA_HEADER",
+    "SLOTarget",
+    "Scenario",
+    "ScenarioError",
+    "SceneShardRouter",
+    "ServeClient",
     "ServeConfig",
     "ServeError",
     "SimulationService",
+    "SubmitRequest",
     "SweepSpec",
+    "TERMINAL_STATES",
     "TIMEOUT",
+    "TransportError",
+    "WireError",
     "http_request_json",
     "normalize_run",
     "normalize_sweep",
     "run_loadgen",
     "run_loadgen_async",
+    "run_scenario",
 ]

@@ -11,21 +11,26 @@ curves.
 Each request is a ``POST /v1/run?wait=1`` drawn from a weighted mix of
 (scene, technique, scale) templates; latency is measured submit to
 terminal state.  A background sampler polls ``/healthz`` for queue
-depth while the run is in flight.  The whole thing is stdlib asyncio —
-including the minimal HTTP/1.1 client — so it runs anywhere the server
-does.
+depth while the run is in flight.  All HTTP goes through the shared
+:class:`repro.serve.client.AsyncServeClient`, so every request the
+generator emits is ``repro.serve/1`` schema-stamped and the target may
+be a single service or the scene-shard router interchangeably.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..obs.metrics import nearest_rank
+from .client import AsyncServeClient
+from .protocol import SubmitRequest, WireError
+
+#: Supported arrival processes (`LoadGenConfig.arrival`).
+ARRIVAL_PROCESSES = ("poisson", "uniform")
 
 
 @dataclass(frozen=True)
@@ -37,13 +42,15 @@ class RequestTemplate:
     scale: str = "smoke"
     weight: float = 1.0
 
-    def payload(self) -> dict:
-        return {
-            "scene": self.scene,
-            "technique": self.technique,
-            "scale": self.scale,
-            "wait": True,
-        }
+    def submit(self, deadline_s: Optional[float] = None) -> SubmitRequest:
+        return SubmitRequest(
+            kind="run",
+            scene=self.scene,
+            technique=self.technique,
+            scale=self.scale,
+            deadline_s=deadline_s,
+            wait=True,
+        )
 
 
 @dataclass
@@ -54,6 +61,7 @@ class LoadGenConfig:
     requests: int = 50
     mix: Tuple[RequestTemplate, ...] = (RequestTemplate(),)
     seed: int = 0
+    arrival: str = "poisson"  # arrival process; see ARRIVAL_PROCESSES
     deadline_s: Optional[float] = None  # forwarded per request
     timeout_s: float = 120.0  # client-side socket timeout
     sample_interval_s: float = 0.05  # /healthz queue-depth sampling
@@ -126,71 +134,29 @@ class LoadReport:
         }
 
 
-async def http_request_json(
-    host: str,
-    port: int,
-    method: str,
-    path: str,
-    payload: Optional[dict] = None,
-    timeout: float = 30.0,
-) -> Tuple[int, Dict[str, str], dict]:
-    """Minimal one-shot HTTP/1.1 JSON client (stdlib asyncio sockets).
-
-    Returns ``(status, headers, document)``; the connection is closed
-    after the response (the server sends ``Connection: close``).
-    """
-    reader, writer = await asyncio.wait_for(
-        asyncio.open_connection(host, port), timeout
-    )
-    try:
-        body = (
-            json.dumps(payload).encode("utf-8") if payload is not None else b""
-        )
-        lines = [
-            f"{method} {path} HTTP/1.1",
-            f"Host: {host}:{port}",
-            "Accept: application/json",
-            "Connection: close",
-            f"Content-Length: {len(body)}",
-        ]
-        if payload is not None:
-            lines.append("Content-Type: application/json")
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
-        await writer.drain()
-
-        status_line = await asyncio.wait_for(reader.readline(), timeout)
-        parts = status_line.decode("latin-1").split(None, 2)
-        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
-            raise ConnectionError(f"malformed status line {status_line!r}")
-        status = int(parts[1])
-        headers: Dict[str, str] = {}
-        while True:
-            line = await asyncio.wait_for(reader.readline(), timeout)
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        raw = (
-            await asyncio.wait_for(reader.readexactly(length), timeout)
-            if length else b""
-        )
-        document = json.loads(raw.decode("utf-8")) if raw else {}
-        return status, headers, document
-    finally:
-        try:
-            writer.close()
-        except Exception:  # noqa: BLE001
-            pass
-
-
 def _arrival_offsets(config: LoadGenConfig) -> List[float]:
-    """Cumulative Poisson arrival offsets (seconds from run start)."""
+    """Cumulative arrival offsets (seconds from run start).
+
+    ``poisson`` draws seeded exponential inter-arrivals at the offered
+    QPS (open-loop memoryless traffic); ``uniform`` spaces arrivals
+    exactly ``1/qps`` apart (a metronome — useful for reproducible
+    capacity steps without Poisson burstiness).
+    """
+    if config.arrival not in ARRIVAL_PROCESSES:
+        known = ", ".join(ARRIVAL_PROCESSES)
+        raise ValueError(
+            f"unknown arrival process {config.arrival!r} (known: {known})"
+        )
     rng = random.Random(config.seed)
     offsets = []
     clock = 0.0
     for _ in range(config.requests):
-        clock += rng.expovariate(config.qps) if config.qps > 0 else 0.0
+        if config.qps <= 0:
+            pass  # all arrivals at t=0 (burst)
+        elif config.arrival == "uniform":
+            clock += 1.0 / config.qps
+        else:
+            clock += rng.expovariate(config.qps)
         offsets.append(clock)
     return offsets
 
@@ -207,6 +173,8 @@ def _pick_templates(config: LoadGenConfig) -> List[RequestTemplate]:
 async def run_loadgen_async(config: LoadGenConfig) -> LoadReport:
     offsets = _arrival_offsets(config)
     templates = _pick_templates(config)
+    client = AsyncServeClient(config.host, config.port,
+                              timeout=config.timeout_s)
     report = LoadReport(offered_qps=config.qps)
     start = time.monotonic()
 
@@ -215,25 +183,23 @@ async def run_loadgen_async(config: LoadGenConfig) -> LoadReport:
         delay = start + offset - time.monotonic()
         if delay > 0:
             await asyncio.sleep(delay)
-        payload = template.payload()
-        if config.deadline_s is not None:
-            payload["deadline_s"] = config.deadline_s
         begin = time.monotonic()
         try:
-            status, _headers, document = await http_request_json(
-                config.host, config.port, "POST", "/v1/run?wait=1",
-                payload, timeout=config.timeout_s,
+            response = await client.submit(
+                template.submit(config.deadline_s), wait=True
             )
-        except (OSError, ConnectionError, asyncio.TimeoutError,
-                ValueError, asyncio.IncompleteReadError):
+        except (OSError, WireError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError):
             return RequestOutcome(
                 index=index, offset_s=offset, status=0,
                 latency_s=time.monotonic() - begin,
             )
+        document = response.document if isinstance(response.document, dict) \
+            else {}
         return RequestOutcome(
             index=index,
             offset_s=offset,
-            status=status,
+            status=response.status,
             latency_s=time.monotonic() - begin,
             state=document.get("state", ""),
             cached=bool(document.get("cached", False)),
@@ -242,13 +208,12 @@ async def run_loadgen_async(config: LoadGenConfig) -> LoadReport:
     async def sample_queue(stop: "asyncio.Event") -> None:
         while not stop.is_set():
             try:
-                _status, _headers, document = await http_request_json(
-                    config.host, config.port, "GET", "/healthz",
-                    timeout=config.timeout_s,
-                )
-                report.queue_depth_samples.append(
-                    int(document.get("queue_depth", 0))
-                )
+                response = await client.healthz()
+                document = response.document
+                if isinstance(document, dict):
+                    report.queue_depth_samples.append(
+                        int(document.get("queue_depth", 0))
+                    )
             except Exception:  # noqa: BLE001 — sampling is best-effort
                 pass
             try:

@@ -1,13 +1,31 @@
-"""Wire protocol for the simulation service: job records, request
-normalization, and result documents.
+"""The versioned wire protocol (``repro.serve/1``): typed request and
+response documents, job records, and request normalization.
+
+This module is the single definition of what travels over the wire.
+The service, the router, the load generator, the typed client, and the
+tests all consume these shapes instead of hand-rolled dicts:
+
+* :class:`SubmitRequest` — the ``POST /v1/run`` / ``POST /v1/sweep``
+  request body (client side constructs it, ``to_wire()`` stamps the
+  schema version);
+* :class:`JobDocument` — the job status/result/cancel response;
+* :class:`ErrorDocument` — every error response, any status;
+* :func:`ensure_request_schema` — server-side version check: a payload
+  stamped with an unknown or mismatched ``schema`` is answered with a
+  structured 400 instead of being half-interpreted.
+
+Every HTTP response (service and router, JSON and text) additionally
+carries the protocol version in the ``X-Repro-Schema`` header — see
+:mod:`repro.serve.http`.
 
 Everything the HTTP layer accepts is validated here, *before* a job is
 admitted — an invalid scene, technique spec, or scale never reaches the
 scheduler.  Normalization reuses the exact front doors the rest of the
-codebase uses (:func:`repro.api.parse_technique`, the scale registry),
-so a served request and a direct :func:`repro.api.run` call resolve to
-the same :class:`~repro.core.Technique` / :class:`~repro.core.Scale`
-objects and therefore the same bit-identical results.
+codebase uses (:meth:`repro.api.RunRequest.from_dict`,
+:func:`repro.api.parse_technique`, the scale registry), so a served
+request and a direct :func:`repro.api.run` call resolve to the same
+:class:`~repro.core.Technique` / :class:`~repro.core.Scale` objects and
+therefore the same bit-identical results.
 
 Job lifecycle::
 
@@ -34,6 +52,10 @@ from ..obs.report import simstats_to_dict
 
 PROTOCOL_SCHEMA = "repro.serve/1"
 
+#: Response header carrying the wire-protocol version on **every**
+#: response (including text bodies that cannot carry a JSON field).
+SCHEMA_HEADER = "X-Repro-Schema"
+
 #: Job states, as they appear in ``GET /v1/jobs/<id>`` documents.
 QUEUED = "queued"
 RUNNING = "running"
@@ -49,11 +71,213 @@ class ServeError(Exception):
     """An HTTP-mappable request error (bad payload, full queue, ...)."""
 
     def __init__(self, status: int, message: str,
-                 headers: Optional[Dict[str, str]] = None) -> None:
+                 headers: Optional[Dict[str, str]] = None,
+                 code: Optional[str] = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
         self.headers = dict(headers or {})
+        self.code = code
+
+    def document(self) -> dict:
+        """The structured error body for this failure."""
+        return ErrorDocument(
+            error=self.message, status=self.status, code=self.code
+        ).to_wire()
+
+
+class WireError(ValueError):
+    """A response document that does not parse as ``repro.serve/1``
+    (client side: unknown schema, missing required fields)."""
+
+
+def _check_wire_schema(doc: dict, *, what: str) -> None:
+    if not isinstance(doc, dict):
+        raise WireError(f"{what} must be a JSON object, got "
+                        f"{type(doc).__name__}")
+    schema = doc.get("schema")
+    if schema != PROTOCOL_SCHEMA:
+        raise WireError(
+            f"{what} carries schema {schema!r}, expected {PROTOCOL_SCHEMA!r}"
+        )
+
+
+def ensure_request_schema(payload: dict) -> None:
+    """Server-side version gate: a request body stamped with a schema
+    other than ``repro.serve/1`` gets a structured 400 (the stamp is
+    optional — unstamped bodies are accepted as the current version)."""
+    if not isinstance(payload, dict):
+        return
+    schema = payload.get("schema")
+    if schema is not None and schema != PROTOCOL_SCHEMA:
+        raise ServeError(
+            400,
+            f"unsupported wire schema {schema!r} "
+            f"(this server speaks {PROTOCOL_SCHEMA})",
+            code="schema_mismatch",
+        )
+
+
+@dataclass(frozen=True)
+class ErrorDocument:
+    """The body of every error response (any 4xx/5xx status)."""
+
+    error: str
+    status: int = 0
+    code: Optional[str] = None  # machine-readable tag, e.g. schema_mismatch
+
+    def to_wire(self) -> dict:
+        doc = {"schema": PROTOCOL_SCHEMA, "error": self.error}
+        if self.status:
+            doc["status"] = self.status
+        if self.code is not None:
+            doc["code"] = self.code
+        return doc
+
+    @classmethod
+    def from_wire(cls, doc: dict) -> "ErrorDocument":
+        _check_wire_schema(doc, what="error document")
+        if "error" not in doc:
+            raise WireError("error document is missing 'error'")
+        return cls(
+            error=str(doc["error"]),
+            status=int(doc.get("status", 0) or 0),
+            code=doc.get("code"),
+        )
+
+
+@dataclass(frozen=True)
+class JobDocument:
+    """The typed view of a job response (submit/status/cancel).
+
+    ``JobRecord.as_document()`` renders through this class, so the
+    dict the service emits and the object the client parses can never
+    drift apart.
+    """
+
+    id: str
+    state: str
+    request: Optional[dict] = None
+    created_unix: Optional[float] = None
+    cached: bool = False
+    trace_id: Optional[str] = None
+    queue_wait_s: Optional[float] = None
+    latency_s: Optional[float] = None
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    replica: Optional[str] = None  # stamped by the router
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def ok(self) -> bool:
+        return self.state == DONE
+
+    def to_wire(self) -> dict:
+        doc = {
+            "schema": PROTOCOL_SCHEMA,
+            "id": self.id,
+            "state": self.state,
+            "cached": self.cached,
+        }
+        if self.request is not None:
+            doc["request"] = self.request
+        if self.created_unix is not None:
+            doc["created_unix"] = self.created_unix
+        for name in ("trace_id", "queue_wait_s", "latency_s",
+                     "result", "error", "replica"):
+            value = getattr(self, name)
+            if value is not None:
+                doc[name] = value
+        return doc
+
+    @classmethod
+    def from_wire(cls, doc: dict) -> "JobDocument":
+        _check_wire_schema(doc, what="job document")
+        for required in ("id", "state"):
+            if required not in doc:
+                raise WireError(f"job document is missing {required!r}")
+        return cls(
+            id=str(doc["id"]),
+            state=str(doc["state"]),
+            request=doc.get("request"),
+            created_unix=doc.get("created_unix"),
+            cached=bool(doc.get("cached", False)),
+            trace_id=doc.get("trace_id"),
+            queue_wait_s=doc.get("queue_wait_s"),
+            latency_s=doc.get("latency_s"),
+            result=doc.get("result"),
+            error=doc.get("error"),
+            replica=doc.get("replica"),
+        )
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """A typed ``POST /v1/run`` / ``POST /v1/sweep`` request body.
+
+    The client-side counterpart of :func:`normalize_run` /
+    :func:`normalize_sweep`: the load generator, the scenario harness,
+    and the tests construct one of these and put ``to_wire()`` on the
+    wire, so every request the fleet emits is schema-stamped.
+    """
+
+    kind: str = "run"  # "run" | "sweep"
+    scene: Optional[str] = None  # run
+    scenes: Optional[Tuple[str, ...]] = None  # sweep (None = full library)
+    technique: str = "baseline"
+    scale: str = "default"
+    baseline: object = None  # bool for run, technique spec for sweep
+    deadline_s: Optional[float] = None
+    wait: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("run", "sweep"):
+            raise ValueError(f"unknown submit kind {self.kind!r}")
+        if self.kind == "run" and self.scene is None:
+            raise ValueError("run submissions require a scene")
+
+    @property
+    def path(self) -> str:
+        return f"/v1/{self.kind}"
+
+    def to_wire(self) -> dict:
+        doc: Dict[str, object] = {
+            "schema": PROTOCOL_SCHEMA,
+            "technique": self.technique,
+            "scale": self.scale,
+        }
+        if self.kind == "run":
+            doc["scene"] = self.scene
+            if self.baseline:
+                doc["baseline"] = bool(self.baseline)
+        else:
+            if self.scenes is not None:
+                doc["scenes"] = list(self.scenes)
+            if self.baseline is not None:
+                doc["baseline"] = self.baseline
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        if self.wait:
+            doc["wait"] = True
+        return doc
+
+    @classmethod
+    def from_wire(cls, kind: str, payload: dict) -> "SubmitRequest":
+        _check_wire_schema(payload, what="submit request")
+        scenes = payload.get("scenes")
+        return cls(
+            kind=kind,
+            scene=payload.get("scene"),
+            scenes=tuple(scenes) if scenes is not None else None,
+            technique=payload.get("technique", "baseline"),
+            scale=payload.get("scale", "default"),
+            baseline=payload.get("baseline"),
+            deadline_s=payload.get("deadline_s"),
+            wait=bool(payload.get("wait", False)),
+        )
 
 
 def _scales():
@@ -243,15 +467,49 @@ class SweepSpec:
         }
 
 
+#: Serving-level request fields layered on top of the facade's own
+#: ``RunRequest`` / ``SweepRequest`` wire schema.
+_SERVE_RUN_FIELDS = ("schema", "baseline", "deadline_s", "wait")
+_SERVE_SWEEP_FIELDS = ("schema", "deadline_s", "wait")
+
+#: Facade fields that are runtime knobs, not wire-transportable work:
+#: the service rejects them instead of silently ignoring them.
+_SERVER_SIDE_FIELDS = ("cache", "trace_backend", "replay_backend")
+
+
+def _reject_server_side_fields(payload: dict) -> None:
+    for name in _SERVER_SIDE_FIELDS:
+        if name in payload:
+            raise ServeError(
+                400,
+                f"field {name!r} is not supported over the wire; "
+                "configure it on the server instead "
+                "(CLI flag or REPRO_* environment variable)",
+            )
+
+
 def normalize_run(payload: dict) -> RunSpec:
     if not isinstance(payload, dict):
         raise ServeError(400, "request body must be a JSON object")
+    ensure_request_schema(payload)
+    _reject_server_side_fields(payload)
     if "scene" not in payload:
         raise ServeError(400, "missing required field 'scene'")
+    # The facade's own wire schema validates field names (with
+    # near-miss suggestions) and the technique/scale values — the
+    # service no longer keeps a parallel copy of that logic.
+    from ..api import RunRequest as ApiRunRequest
+
+    try:
+        request = ApiRunRequest.from_dict(
+            payload, ignore=_SERVE_RUN_FIELDS
+        )
+    except (ValueError, TypeError) as exc:
+        raise ServeError(400, str(exc))
     return RunSpec(
-        scene=_coerce_scene(payload["scene"]),
-        technique=_coerce_technique(payload.get("technique", "baseline")),
-        scale=_coerce_scale(payload.get("scale", "default")),
+        scene=_coerce_scene(request.scene),
+        technique=_coerce_technique(request.technique),
+        scale=_coerce_scale(request.scale),
         include_baseline=bool(payload.get("baseline", False)),
         deadline_s=_coerce_deadline(payload),
     )
@@ -260,20 +518,30 @@ def normalize_run(payload: dict) -> RunSpec:
 def normalize_sweep(payload: dict) -> SweepSpec:
     if not isinstance(payload, dict):
         raise ServeError(400, "request body must be a JSON object")
+    ensure_request_schema(payload)
+    _reject_server_side_fields(payload)
     if "technique" not in payload:
         raise ServeError(400, "missing required field 'technique'")
-    scenes = payload.get("scenes")
+    from ..api import SweepRequest as ApiSweepRequest
+
+    try:
+        request = ApiSweepRequest.from_dict(
+            payload, ignore=_SERVE_SWEEP_FIELDS
+        )
+    except (ValueError, TypeError) as exc:
+        raise ServeError(400, str(exc))
+    scenes = request.scenes
     if scenes is None:
         from ..scenes import ALL_SCENES
 
-        scenes = list(ALL_SCENES)
-    if not isinstance(scenes, (list, tuple)) or not scenes:
+        scenes = tuple(ALL_SCENES)
+    if not scenes:
         raise ServeError(400, "'scenes' must be a non-empty list")
     return SweepSpec(
-        technique=_coerce_technique(payload["technique"]),
+        technique=_coerce_technique(request.technique),
         scenes=tuple(_coerce_scene(scene) for scene in scenes),
-        scale=_coerce_scale(payload.get("scale", "default")),
-        baseline=_coerce_technique(payload.get("baseline", "baseline")),
+        scale=_coerce_scale(request.scale),
+        baseline=_coerce_technique(request.baseline),
         deadline_s=_coerce_deadline(payload),
     )
 
@@ -353,22 +621,17 @@ class JobRecord:
         return self.finished - self.submitted
 
     def as_document(self) -> dict:
-        doc = {
-            "schema": PROTOCOL_SCHEMA,
-            "id": self.id,
-            "state": self.state,
-            "request": self.spec.describe(),
-            "created_unix": self.created_unix,
-            "cached": self.cached,
-        }
-        if self.trace_id is not None:
-            doc["trace_id"] = self.trace_id
-        if self.queue_wait_s is not None:
-            doc["queue_wait_s"] = self.queue_wait_s
-        if self.latency_s is not None:
-            doc["latency_s"] = self.latency_s
-        if self.result is not None:
-            doc["result"] = self.result
-        if self.error is not None:
-            doc["error"] = self.error
-        return doc
+        """Render through :class:`JobDocument` so the dict the service
+        emits and the object the client parses can never drift."""
+        return JobDocument(
+            id=self.id,
+            state=self.state,
+            request=self.spec.describe(),
+            created_unix=self.created_unix,
+            cached=self.cached,
+            trace_id=self.trace_id,
+            queue_wait_s=self.queue_wait_s,
+            latency_s=self.latency_s,
+            result=self.result,
+            error=self.error,
+        ).to_wire()

@@ -31,21 +31,18 @@ Submission semantics:
 from __future__ import annotations
 
 import asyncio
-import json
 import signal
 import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
-from urllib.parse import parse_qs, urlsplit
 
 from ..obs import MetricRegistry
 from ..obs import spans as _sp
 from . import protocol
 from .cache import ResultLRU
+from .http import SERVER_NAME, read_request, respond
 from .protocol import JobRecord, ServeError
 from .scheduler import MicroBatchScheduler
-
-SERVER_NAME = "repro-serve"
 
 
 @dataclass
@@ -238,10 +235,12 @@ class SimulationService:
                                  writer: asyncio.StreamWriter) -> None:
         try:
             try:
-                method, path, query, payload = await self._read_request(reader)
+                method, path, query, payload = await read_request(
+                    reader, max_body_bytes=self.config.max_body_bytes
+                )
             except ServeError as exc:
-                await self._respond(writer, exc.status,
-                                    {"error": exc.message}, exc.headers)
+                await respond(writer, exc.status, exc.document(),
+                              exc.headers)
                 return
             except (asyncio.IncompleteReadError, ConnectionError,
                     asyncio.TimeoutError, ValueError):
@@ -252,92 +251,22 @@ class SimulationService:
                 )
             except ServeError as exc:
                 status, document, headers = (
-                    exc.status, {"error": exc.message}, exc.headers
+                    exc.status, exc.document(), exc.headers
                 )
             except Exception as exc:  # noqa: BLE001 — never kill the server
                 status, document, headers = (
-                    500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+                    500,
+                    protocol.ErrorDocument(
+                        error=f"{type(exc).__name__}: {exc}", status=500
+                    ).to_wire(),
+                    {},
                 )
-            await self._respond(writer, status, document, headers)
+            await respond(writer, status, document, headers)
         finally:
             try:
                 writer.close()
             except Exception:  # noqa: BLE001
                 pass
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, dict, Optional[dict]]:
-        request_line = await asyncio.wait_for(reader.readline(), timeout=30.0)
-        if not request_line:
-            raise ConnectionError("empty request")
-        try:
-            method, target, _version = request_line.decode("ascii").split()
-        except ValueError:
-            raise ServeError(400, "malformed request line")
-        headers = {}
-        while True:
-            line = await asyncio.wait_for(reader.readline(), timeout=30.0)
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0") or "0")
-        except ValueError:
-            raise ServeError(400, "bad Content-Length")
-        if length > self.config.max_body_bytes:
-            raise ServeError(413, "request body too large")
-        body = await reader.readexactly(length) if length else b""
-        payload = None
-        if body:
-            try:
-                payload = json.loads(body.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                raise ServeError(400, "request body is not valid JSON")
-        parts = urlsplit(target)
-        query = {
-            key: values[-1]
-            for key, values in parse_qs(parts.query).items()
-        }
-        return method.upper(), parts.path, query, payload
-
-    async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       document, headers: Optional[dict] = None) -> None:
-        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                   404: "Not Found", 405: "Method Not Allowed",
-                   409: "Conflict", 413: "Payload Too Large",
-                   429: "Too Many Requests", 500: "Internal Server Error",
-                   503: "Service Unavailable"}
-        headers = dict(headers or {})
-        # A handler may override Content-Type (Prometheus exposition is
-        # text); pop it so the header is emitted exactly once.
-        content_type = None
-        for name in list(headers):
-            if name.lower() == "content-type":
-                content_type = headers.pop(name)
-        if isinstance(document, str):
-            body = document.encode("utf-8")
-            content_type = content_type or "text/plain; charset=utf-8"
-        else:
-            body = (
-                json.dumps(document, sort_keys=True) + "\n"
-            ).encode("utf-8")
-            content_type = content_type or "application/json"
-        lines = [
-            f"HTTP/1.1 {status} {reasons.get(status, 'Status')}",
-            f"Server: {SERVER_NAME}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(body)}",
-            "Connection: close",
-        ]
-        for name, value in headers.items():
-            lines.append(f"{name}: {value}")
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
-        try:
-            await writer.drain()
-        except ConnectionError:
-            pass
 
     # ------------------------------------------------------------------
     # Routing.
@@ -347,6 +276,7 @@ class SimulationService:
                      payload: Optional[dict]) -> Tuple[int, dict, dict]:
         if path == "/healthz" and method == "GET":
             snapshot = self._snapshot()
+            snapshot["schema"] = protocol.PROTOCOL_SCHEMA
             snapshot["status"] = "ok"
             return 200, snapshot, {}
         if path == "/metrics" and method == "GET":

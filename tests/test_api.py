@@ -14,6 +14,7 @@ import pytest
 from repro.api import (
     RunRequest,
     RunResult,
+    SweepRequest,
     TECHNIQUE_PRESETS,
     compare,
     describe_techniques,
@@ -21,6 +22,7 @@ from repro.api import (
     run,
     sweep,
     technique_fields,
+    technique_to_spec,
 )
 from repro.core import (
     BASELINE,
@@ -200,7 +202,116 @@ class TestSweepCompare:
         )
 
 
+class TestWireRoundTrip:
+    """Satellite contract: RunRequest/SweepRequest survive a JSON
+    round-trip and from_dict rejects unknown keys with near-miss
+    suggestions — POST bodies are parsed by the facade's own schema."""
+
+    def test_run_request_round_trips(self):
+        request = RunRequest(scene="WKND", technique="treelet-prefetch",
+                             scale=SMOKE)
+        wire = request.to_dict()
+        assert wire == {"scene": "WKND", "technique": "treelet-prefetch",
+                        "scale": "smoke"}
+        rebuilt = RunRequest.from_dict(wire)
+        assert rebuilt.scene == request.scene
+        assert parse_technique(rebuilt.technique) == parse_technique(
+            request.technique
+        )
+
+    def test_run_request_round_trips_with_overrides(self):
+        request = RunRequest(
+            scene="SHIP",
+            technique="treelet-prefetch,treelet_bytes=8192",
+            scale=SMOKE, cache=False,
+        )
+        wire = request.to_dict()
+        assert "treelet_bytes=8192" in wire["technique"]
+        assert wire["cache"] is False
+        rebuilt = RunRequest.from_dict(wire)
+        assert parse_technique(rebuilt.technique).treelet_bytes == 8192
+        assert rebuilt.cache is False
+
+    def test_sweep_request_round_trips(self):
+        request = SweepRequest(technique="treelet-prefetch",
+                               scenes=("WKND", "SHIP"), scale=SMOKE,
+                               jobs=2)
+        wire = request.to_dict()
+        assert wire["scenes"] == ["WKND", "SHIP"]
+        assert wire["jobs"] == 2
+        rebuilt = SweepRequest.from_dict(wire)
+        assert rebuilt.scenes == ("WKND", "SHIP")
+        assert rebuilt.jobs == 2
+
+    def test_sweep_accepts_request_object(self):
+        request = SweepRequest(technique=TREELET_PREFETCH,
+                               scenes=("WKND",), scale=SMOKE)
+        via_object = sweep(request)
+        via_args = sweep(TREELET_PREFETCH, ["WKND"], SMOKE)
+        assert via_object.speedups() == via_args.speedups()
+
+    def test_unknown_key_suggests_near_miss(self):
+        with pytest.raises(ValueError, match="did you mean 'technique'"):
+            RunRequest.from_dict({"scene": "WKND", "tecnique": "baseline"})
+        with pytest.raises(ValueError, match="did you mean 'scenes'"):
+            SweepRequest.from_dict({"technique": "baseline",
+                                    "scene": ["WKND"]})
+
+    def test_bad_values_fail_eagerly(self):
+        with pytest.raises(ValueError, match="scene"):
+            RunRequest.from_dict({})
+        with pytest.raises(ValueError):
+            RunRequest.from_dict({"scene": "WKND",
+                                  "technique": "treelet-prefech"})
+
+    def test_technique_to_spec_round_trips_all_presets(self):
+        for name in TECHNIQUE_PRESETS:
+            technique = parse_technique(name)
+            spec = technique_to_spec(technique)
+            assert parse_technique(spec) == technique
+
+    def test_technique_to_spec_round_trips_overrides(self):
+        for spec in (
+            "treelet-prefetch,treelet_bytes=8192,deferred_order=lifo",
+            "treelet-prefetch,layout=dfs,stride=0,mapping=center",
+            "baseline,treelet_bytes=16384",
+        ):
+            technique = parse_technique(spec)
+            rebuilt = technique_to_spec(technique)
+            assert parse_technique(rebuilt) == technique
+
+
 class TestDeprecationShims:
+    @pytest.fixture(autouse=True)
+    def _fresh_warnings(self):
+        # The shims warn once per process; forget earlier firings so
+        # each test observes its own warning.
+        from repro.core import deprecation
+
+        deprecation.reset()
+        yield
+        deprecation.reset()
+
+    def test_shims_warn_once_per_process(self):
+        import warnings
+
+        from repro.core.sweeps import run_sweep
+
+        with pytest.warns(DeprecationWarning, match="repro.api.sweep"):
+            run_sweep(TREELET_PREFETCH, ["WKND"], SMOKE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_sweep(TREELET_PREFETCH, ["WKND"], SMOKE)  # silent now
+
+    def test_facade_never_warns(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run("WKND", TREELET_PREFETCH, SMOKE)
+            sweep(TREELET_PREFETCH, ["WKND"], SMOKE)
+            compare({"ours": TREELET_PREFETCH}, ["WKND"], SMOKE)
+
     def test_run_experiment_warns_and_matches(self):
         from repro import run_experiment
 

@@ -1,11 +1,14 @@
 """Acceptance tests for repro.serve: the async simulation service.
 
 The service runs on a private event loop in a background thread; tests
-talk to it over real TCP with urllib, exactly like an external client.
-Covers the PR's contract:
+talk to it over real TCP through the shared typed client
+(:mod:`repro.serve.client`), exactly like an external caller — no
+ad-hoc urllib anywhere.  Covers the PR's contract:
 
 * a served ``POST /v1/run`` returns SimStats bit-identical to a direct
   ``repro.api.run`` call;
+* every response carries the ``repro.serve/1`` schema stamp, and a
+  request claiming a different schema is rejected with 400;
 * a full admission queue sheds with 429 + ``Retry-After``;
 * an expired deadline reports ``timeout`` without wedging the worker
   pool;
@@ -22,8 +25,6 @@ import subprocess
 import sys
 import threading
 import time
-import urllib.error
-import urllib.request
 from pathlib import Path
 
 import pytest
@@ -34,8 +35,10 @@ from repro.serve import (
     RequestOutcome,
     RequestTemplate,
     ResultLRU,
+    ServeClient,
     ServeConfig,
     SimulationService,
+    TransportError,
     run_loadgen,
 )
 
@@ -81,34 +84,28 @@ class ServiceHandle:
         return self.service.port
 
     # -- HTTP client helpers ------------------------------------------
+    # Thin shims over the shared typed client, keeping the historical
+    # (status, headers, document) tuple shape the assertions use.
+
+    @property
+    def client(self) -> ServeClient:
+        return ServeClient("127.0.0.1", self.port)
 
     def request(self, method: str, path: str, payload=None, timeout=60):
-        data = json.dumps(payload).encode() if payload is not None else None
-        req = urllib.request.Request(
-            f"http://127.0.0.1:{self.port}{path}",
-            data=data,
-            headers={"Content-Type": "application/json"},
-            method=method,
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=timeout) as resp:
-                return resp.status, dict(resp.headers), json.loads(resp.read())
-        except urllib.error.HTTPError as exc:
-            return exc.code, dict(exc.headers), json.loads(exc.read())
+        response = self.client.request(method, path, payload,
+                                       timeout=timeout)
+        return response.status, response.headers, response.document
 
-    def post(self, path: str, payload: dict, timeout=60):
+    def post(self, path: str, payload, timeout=60):
         return self.request("POST", path, payload, timeout)
 
     def get(self, path: str, timeout=60):
         return self.request("GET", path, None, timeout)
 
     def get_raw(self, path: str, timeout=60):
-        """GET without assuming a JSON body (Prometheus exposition)."""
-        req = urllib.request.Request(
-            f"http://127.0.0.1:{self.port}{path}", method="GET"
-        )
-        with urllib.request.urlopen(req, timeout=timeout) as resp:
-            return resp.status, dict(resp.headers), resp.read().decode()
+        """GET without assuming a JSON body (Prometheus exposition);
+        the client hands non-JSON bodies back as text."""
+        return self.request("GET", path, None, timeout)
 
     def wait_for_state(self, job_id: str, states, timeout: float = 30):
         deadline = time.monotonic() + timeout
@@ -339,10 +336,8 @@ class TestDrain:
             job = handle.service.jobs[job_id]
             assert job.state == "done"
             assert job.result is not None
-        with pytest.raises(urllib.error.URLError):
-            urllib.request.urlopen(
-                f"http://127.0.0.1:{port}/healthz", timeout=2
-            )
+        with pytest.raises((TransportError, OSError)):
+            ServeClient("127.0.0.1", port, timeout=2).healthz()
 
     def test_sigterm_drains_and_exits_cleanly(self, tmp_path):
         env = dict(os.environ)
@@ -361,15 +356,12 @@ class TestDrain:
             line = proc.stdout.readline()
             assert "listening on" in line, line
             port = int(line.rsplit(":", 1)[1])
-            payload = json.dumps({
-                "scene": "WKND", "technique": "baseline", "scale": "smoke",
-            }).encode()
-            req = urllib.request.Request(
-                f"http://127.0.0.1:{port}/v1/run", data=payload,
-                headers={"Content-Type": "application/json"}, method="POST",
+            response = ServeClient("127.0.0.1", port, timeout=30).request(
+                "POST", "/v1/run",
+                {"scene": "WKND", "technique": "baseline",
+                 "scale": "smoke"},
             )
-            with urllib.request.urlopen(req, timeout=30) as resp:
-                assert resp.status == 202
+            assert response.status == 202
             proc.send_signal(signal.SIGTERM)  # drain: finish the job, exit 0
             out, _ = proc.communicate(timeout=60)
         finally:
@@ -475,15 +467,61 @@ class TestHttpSurface:
 
     def test_malformed_json_is_400(self, serve_factory):
         handle = serve_factory()
-        req = urllib.request.Request(
-            f"http://127.0.0.1:{handle.port}/v1/run",
-            data=b"{not json",
-            headers={"Content-Type": "application/json"},
-            method="POST",
+        # Raw bytes bypass the client's JSON encoding, reaching the
+        # server as a syntactically invalid body.
+        status, _headers, doc = handle.post("/v1/run", b"{not json")
+        assert status == 400
+        assert "JSON" in doc["error"] or "json" in doc["error"]
+
+    def test_every_response_carries_schema_stamp(self, serve_factory):
+        from repro.serve import SCHEMA_HEADER
+
+        handle = serve_factory()
+        client = handle.client
+        responses = [
+            client.healthz(),
+            client.metrics(),
+            client.metrics(fmt="prometheus"),
+            client.request("GET", "/v1/jobs/nope"),  # 404
+            client.request("GET", "/v2/run"),  # unknown route
+            client.request("POST", "/v1/run", {"scene": "CITY17"}),  # 400
+        ]
+        for response in responses:
+            assert response.header(SCHEMA_HEADER) == "repro.serve/1"
+
+    def test_request_claiming_wrong_schema_is_400(self, serve_factory):
+        handle = serve_factory()
+        status, _headers, doc = handle.post(
+            "/v1/run",
+            {"schema": "repro.serve/2", "scene": "WKND", "scale": "smoke"},
         )
-        with pytest.raises(urllib.error.HTTPError) as excinfo:
-            urllib.request.urlopen(req, timeout=10)
-        assert excinfo.value.code == 400
+        assert status == 400
+        assert doc["code"] == "schema_mismatch"
+        assert "repro.serve/1" in doc["error"]
+        # Stamping the *right* schema on the request is accepted.
+        status, _headers, doc = handle.post(
+            "/v1/run?wait=1",
+            {"schema": "repro.serve/1", "scene": "WKND",
+             "technique": "baseline", "scale": "smoke"},
+        )
+        assert status == 200 and doc["state"] == "done"
+
+    def test_server_side_field_in_wire_request_is_400(self, serve_factory):
+        handle = serve_factory()
+        status, _headers, doc = handle.post(
+            "/v1/run",
+            {"scene": "WKND", "scale": "smoke", "cache": False},
+        )
+        assert status == 400
+        assert "cache" in doc["error"]
+
+    def test_unknown_field_suggests_near_miss(self, serve_factory):
+        handle = serve_factory()
+        status, _headers, doc = handle.post(
+            "/v1/run", {"scene": "WKND", "tecnique": "baseline"}
+        )
+        assert status == 400
+        assert "did you mean 'technique'" in doc["error"]
 
 
 class TestLoadgen:

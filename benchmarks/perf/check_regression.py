@@ -15,6 +15,16 @@ vectorized kernel silently falling back to scalar).  With
 ``--min-trace-speedup`` the trace phase's ``derived.speedup`` (scalar
 time / vectorized time) must also clear the floor.
 
+Wall-clock fan-out metrics (``replay_serial_wall``,
+``replay_parallel``) are excluded from the baseline ratio check: their
+absolute values depend on the host's core count, so a baseline recorded
+on one machine says nothing about another.  They are instead gated
+against *each other* on the current machine via
+``--max-parallel-slowdown``: the fanned replay must never be worse than
+``factor`` times the serial wall on the same host (loose enough for a
+single-core runner, where the fan-out degrades to the in-process serial
+path, tight enough to catch the pool pathologically thrashing).
+
 Exit status: 0 clean, 1 regression, 2 missing/invalid files.
 """
 
@@ -26,6 +36,10 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parents[2]
+
+#: Metrics timed on the wall clock across worker processes; absolute
+#: cross-machine comparison is meaningless (see module docstring).
+WALL_CLOCK_METRICS = {"replay_serial_wall", "replay_parallel"}
 
 
 def load(path: Path):
@@ -62,6 +76,12 @@ def main() -> int:
         help="fail when the replay phase's batched-over-scalar "
              "speedup drops below this floor",
     )
+    parser.add_argument(
+        "--max-parallel-slowdown", type=float, default=None,
+        help="fail when the current replay_parallel wall exceeds "
+             "replay_serial_wall by more than this factor (same-machine "
+             "check; wall metrics are never compared across machines)",
+    )
     args = parser.parse_args()
 
     baseline_dir = Path(args.baseline_dir)
@@ -82,6 +102,10 @@ def main() -> int:
                       file=sys.stderr)
             return 2
         for name, spec in sorted(baseline["metrics"].items()):
+            if name in WALL_CLOCK_METRICS:
+                print(f"{baseline_path.name:>22} {name:<20} "
+                      f"skipped (wall-clock, machine-local)")
+                continue
             base_seconds = spec["seconds"]
             cur = current["metrics"].get(name)
             if cur is None:
@@ -110,6 +134,24 @@ def main() -> int:
             print(f"{baseline_path.name:>22} {'derived.speedup':<20} "
                   f"{speedup:.2f}x (floor {floor:.2f}x)  "
                   f"{verdict}")
+        if (args.max_parallel_slowdown is not None
+                and baseline["phase"] == "replay"):
+            serial = current["metrics"].get("replay_serial_wall")
+            fanned = current["metrics"].get("replay_parallel")
+            if serial is None or fanned is None:
+                print(f"{current_path.name}: wall metrics missing, cannot "
+                      f"check --max-parallel-slowdown", file=sys.stderr)
+                failures += 1
+            else:
+                ratio = (fanned["seconds"] / serial["seconds"]
+                         if serial["seconds"] else 1.0)
+                verdict = "ok"
+                if ratio > args.max_parallel_slowdown:
+                    verdict = "REGRESSION"
+                    failures += 1
+                print(f"{baseline_path.name:>22} {'parallel/serial':<20} "
+                      f"{ratio:.2f}x (max "
+                      f"{args.max_parallel_slowdown:.2f}x)  {verdict}")
 
     if failures:
         print(f"{failures} perf regression(s)", file=sys.stderr)

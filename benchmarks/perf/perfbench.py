@@ -27,6 +27,7 @@ ratios and workload counts.  ``check_regression.py`` compares the
 
 from __future__ import annotations
 
+import os
 import platform
 import time
 from typing import Callable, Dict, List, Optional
@@ -97,12 +98,49 @@ def bench_scenes(scale: Scale) -> List[str]:
     return list(_BENCH_SCENES.get(scale.name, _BENCH_SCENES["default"]))
 
 
+def resolve_scenes(spec: Optional[str], scale: Scale) -> Optional[List[str]]:
+    """Parse a CLI ``--scenes`` spec: ``None``/"default" -> the
+    per-scale bench set (returned as None so :func:`run_phase` applies
+    it), "all" -> the full scene library, otherwise a comma-separated
+    list of scene names (validated against the library)."""
+    if spec is None:
+        return None
+    name = spec.strip().lower()
+    if name in ("", "default"):
+        return None
+    if name == "all":
+        return list(ALL_SCENES)
+    scenes = [item.strip().upper() for item in spec.split(",") if item.strip()]
+    unknown = [scene for scene in scenes if scene not in ALL_SCENES]
+    if unknown:
+        raise ValueError(
+            f"unknown scene(s) {', '.join(unknown)} "
+            f"(known: {', '.join(ALL_SCENES)})"
+        )
+    return scenes
+
+
 def _best_of(fn: Callable[[], object], repeats: int) -> float:
     best = float("inf")
     for _ in range(max(1, repeats)):
         start = time.process_time()
         fn()
         best = min(best, time.process_time() - start)
+    return best
+
+
+def _best_of_wall(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall-clock seconds (``time.perf_counter``).
+
+    Used where the work fans across child processes: ``process_time``
+    only meters this process's CPU, so it would not see pool workers at
+    all.  Wall clock is noisier, hence still best-of-N.
+    """
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
     return best
 
 
@@ -126,6 +164,7 @@ def _environment() -> Dict[str, str]:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),
+        "cpus": os.cpu_count() or 1,
     }
 
 
@@ -229,8 +268,23 @@ def bench_build(scale: Scale, scenes: List[str], repeats: int) -> dict:
     )
 
 
-def bench_replay(scale: Scale, scenes: List[str], repeats: int) -> dict:
-    """Warm-artifact replay, timed per backend.
+#: Worker count for the ``replay_parallel`` metric (the replay fan-out
+#: across the repro.exec pool).  Capped at the host's core count: on a
+#: single-core host ``prewarm_replays(jobs=1)`` degrades to the
+#: in-process serial path, so the metric stays an honest "what this
+#: machine gets from the fan-out" instead of timing pure
+#: oversubscription overhead.  ``workload.parallel_jobs`` records the
+#: value used.
+PARALLEL_REPLAY_JOBS = max(1, min(4, os.cpu_count() or 1))
+
+
+def bench_replay(
+    scale: Scale,
+    scenes: List[str],
+    repeats: int,
+    parallel_jobs: int = PARALLEL_REPLAY_JOBS,
+) -> dict:
+    """Warm-artifact replay, timed per backend and per fan-out.
 
     ``replay_warm`` (the headline metric, and the one gated against the
     committed baseline) uses the default batched engine; the scalar
@@ -238,7 +292,21 @@ def bench_replay(scale: Scale, scenes: List[str], repeats: int) -> dict:
     ``derived.speedup`` — the same structure as the trace phase's
     scalar-versus-vectorized pair.  Both engines replay the identical
     workload to bit-identical statistics.
+
+    Two further surfaces:
+
+    * ``derived.per_scene`` — each scene's (baseline + treelet) replay
+      timed on both engines, so per-scene ratios are tracked and an
+      engine regression localizes to a scene instead of hiding in the
+      aggregate;
+    * ``replay_serial_wall`` / ``replay_parallel`` — the same warm
+      replay workload serial versus fanned across ``parallel_jobs``
+      worker processes (:func:`repro.exec.prewarm_replays`), timed on
+      the wall clock (worker CPU is invisible to ``process_time``);
+      their ratio is ``derived.parallel_speedup``.
     """
+    from repro.exec.executor import prewarm_replays
+
     pairs = [
         (scene, technique)
         for scene in scenes
@@ -246,10 +314,12 @@ def bench_replay(scale: Scale, scenes: List[str], repeats: int) -> dict:
     ]
     prewarm_traces(pairs, scale)
 
-    def replay_with(backend):
+    def replay_with(backend, subset=None):
+        workload = pairs if subset is None else subset
+
         def run_replay():
             pipeline._RESULT_CACHE.clear()
-            for scene, technique in pairs:
+            for scene, technique in workload:
                 _run_experiment(
                     scene, technique, scale, replay_backend=backend
                 )
@@ -258,16 +328,48 @@ def bench_replay(scale: Scale, scenes: List[str], repeats: int) -> dict:
 
     warm = _best_of(replay_with("batched"), repeats)
     scalar = _best_of(replay_with("scalar"), repeats)
+    per_scene = {}
+    for scene in scenes:
+        subset = [(scene, BASELINE), (scene, TREELET_PREFETCH)]
+        scene_warm = _best_of(replay_with("batched", subset), repeats)
+        scene_scalar = _best_of(replay_with("scalar", subset), repeats)
+        per_scene[scene] = {
+            "batched": scene_warm,
+            "scalar": scene_scalar,
+            "speedup": scene_scalar / scene_warm,
+        }
+
+    def replay_serial():
+        pipeline._RESULT_CACHE.clear()
+        for scene, technique in pairs:
+            _run_experiment(scene, technique, scale)
+
+    def replay_parallel():
+        pipeline._RESULT_CACHE.clear()
+        prewarm_replays(
+            [BASELINE, TREELET_PREFETCH], scenes, scale, jobs=parallel_jobs
+        )
+
+    serial_wall = _best_of_wall(replay_serial, repeats)
+    parallel_wall = _best_of_wall(replay_parallel, repeats)
     return _document(
         "replay", scale,
-        workload={"scenes": scenes, "experiments": len(pairs)},
+        workload={
+            "scenes": scenes,
+            "experiments": len(pairs),
+            "parallel_jobs": parallel_jobs,
+        },
         metrics={
             "replay_warm": {"seconds": warm},
             "replay_scalar": {"seconds": scalar},
+            "replay_serial_wall": {"seconds": serial_wall},
+            "replay_parallel": {"seconds": parallel_wall},
         },
         derived={
             "experiments_per_second": len(pairs) / warm,
             "speedup": scalar / warm,
+            "parallel_speedup": serial_wall / parallel_wall,
+            "per_scene": per_scene,
         },
     )
 

@@ -44,6 +44,12 @@ def main() -> int:
         help="best-of-N repeat count (default: per-phase)",
     )
     parser.add_argument(
+        "--scenes", default=None, metavar="SET",
+        help='scene coverage: "all" (the full 16-scene library), '
+             '"default" (the per-scale bench set), or a comma-separated '
+             "list of scene names (default: per-scale set)",
+    )
+    parser.add_argument(
         "--out-dir", default=str(ROOT), metavar="DIR",
         help="where BENCH_<phase>.json files land (default: repo root)",
     )
@@ -54,11 +60,14 @@ def main() -> int:
     set_artifact_cache(None)
 
     scale = perfbench.resolve_scale(args.scale)
+    scenes = perfbench.resolve_scenes(args.scenes, scale)
     phases = list(perfbench.PHASES) if args.phase == "all" else [args.phase]
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     for phase in phases:
-        document = perfbench.run_phase(phase, scale, repeats=args.repeats)
+        document = perfbench.run_phase(
+            phase, scale, scenes=scenes, repeats=args.repeats
+        )
         path = out_dir / f"BENCH_{phase}.json"
         path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
         parts = [

@@ -404,9 +404,11 @@ def sweep(
         jobs=jobs,
     ):
         if jobs > 1 and scene_list:
-            from ..exec.executor import prewarm_results
+            from ..exec.executor import prewarm_replays
 
-            prewarm_results(
+            # Traces ride one vectorized forest pass in this process;
+            # only the replays fan across the worker pool.
+            prewarm_replays(
                 [base, resolved], scene_list, resolved_scale,
                 jobs=jobs, progress=progress,
             )
@@ -451,9 +453,9 @@ def compare(
     resolved_scale = _coerce_scale(scale)
     scene_list = list(scenes) if scenes is not None else _default_scenes()
     if jobs > 1 and scene_list and resolved:
-        from ..exec.executor import prewarm_results
+        from ..exec.executor import prewarm_replays
 
-        prewarm_results(
+        prewarm_replays(
             [base, *resolved.values()], scene_list, resolved_scale,
             jobs=jobs, progress=progress,
         )

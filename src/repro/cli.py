@@ -339,6 +339,7 @@ def _cmd_sweep_impl(args: argparse.Namespace) -> int:
                 scale=scale.name,
                 stats=result.stats,
                 observer=observer,
+                replay_jobs=args.jobs,
             )
         else:
             result = outcome.outcomes[scene].candidate

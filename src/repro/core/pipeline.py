@@ -248,6 +248,21 @@ def replay_backend_from_env() -> Optional[str]:
     return name if name in REPLAY_BACKENDS else None
 
 
+def effective_replay_backend(backend: Optional[str] = None) -> str:
+    """The replay engine a run with ``replay_backend=backend`` would use,
+    resolved all the way down: explicit argument, else the process
+    override / ``REPRO_REPLAY_BACKEND``, else the
+    :class:`~repro.core.config.GpuConfig` default ("batched").  Reports
+    and the serve metrics surface this so artifacts record which engine
+    produced them (the engines are bit-identical; this is provenance,
+    not a result-affecting knob)."""
+    if backend is not None:
+        if backend not in REPLAY_BACKENDS:
+            raise ValueError(f"unknown replay backend {backend!r}")
+        return backend
+    return replay_backend_from_env() or GpuConfig().replay_backend
+
+
 @dataclass
 class ExperimentResult:
     """Everything one (scene, technique) evaluation produced."""

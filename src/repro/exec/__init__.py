@@ -38,6 +38,8 @@ from .executor import (
     compare_techniques_parallel,
     execute_jobs,
     metrics_progress,
+    prewarm_replay_jobs,
+    prewarm_replays,
     prewarm_results,
     run_sweep_parallel,
 )
@@ -56,6 +58,8 @@ __all__ = [
     "execute_jobs",
     "get_artifact_cache",
     "metrics_progress",
+    "prewarm_replay_jobs",
+    "prewarm_replays",
     "prewarm_results",
     "run_sweep_parallel",
     "set_artifact_cache",

@@ -313,6 +313,59 @@ def prewarm_results(
     return results
 
 
+def prewarm_replay_jobs(
+    jobs: Sequence[Job],
+    workers: int,
+    **options,
+) -> List[ExperimentResult]:
+    """Fan the *replay* phase of ``jobs`` across the worker pool.
+
+    Trace generation is hoisted into the parent first — one
+    :func:`repro.core.pipeline.prewarm_traces` call per distinct scale,
+    so every missing trace set rides the vectorized forest driver once.
+    Fork-started workers then inherit the warm trace memoizer and spend
+    their time purely on simulation replay (spawn-started workers reload
+    the traces from the shared artifact cache when one is active).
+    Results seed the in-process result memoizer exactly like
+    :func:`prewarm_results`, and ``options`` passes through to
+    :func:`execute_jobs` (progress/metrics/timeouts/span shipping — the
+    deterministic merge and fallback semantics are unchanged).
+    """
+    from ..core import pipeline
+
+    jobs = list(jobs)
+    by_scale: Dict[str, tuple] = {}
+    for job in jobs:
+        by_scale.setdefault(job.scale.name, (job.scale, []))[1].append(
+            (job.scene, job.technique)
+        )
+    for scale, pairs in by_scale.values():
+        pipeline.prewarm_traces(pairs, scale)
+    results = execute_jobs(jobs, workers=workers, **options)
+    for job, result in zip(jobs, results):
+        pipeline._RESULT_CACHE.setdefault(job.key(), result)
+    return results
+
+
+def prewarm_replays(
+    techniques: Iterable[Technique],
+    scenes: Iterable[str],
+    scale: Scale = DEFAULT,
+    jobs: int = 1,
+    **options,
+) -> List[ExperimentResult]:
+    """:func:`prewarm_results` with the replay phase fanned out: traces
+    for every (scene, technique) pair are batch-generated in the parent
+    (one vectorized forest pass), then the replays fan across ``jobs``
+    worker processes and seed the in-process result memoizer."""
+    batch = [
+        Job(scene=scene, technique=technique, scale=scale)
+        for technique in techniques
+        for scene in scenes
+    ]
+    return prewarm_replay_jobs(batch, workers=jobs, **options)
+
+
 def run_sweep_parallel(
     technique: Technique,
     scenes: Iterable[str],

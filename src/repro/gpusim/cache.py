@@ -10,7 +10,7 @@ what the Figure 20 effectiveness classification needs.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Dict, List, Optional
 
@@ -25,22 +25,53 @@ class AccessOutcome(Enum):
     MISS = "miss"
 
 
-@dataclass
 class LineMeta:
-    """Per-resident-line metadata."""
+    """Per-resident-line metadata.
 
-    filled_by_prefetch: bool = False
-    demand_touched: bool = False
-    fill_cycle: int = 0
+    A ``__slots__`` class rather than a dataclass: one instance exists
+    per resident line and the fields are read on every probe, so the
+    slot layout (no per-instance dict) measurably helps both replay
+    engines.
+    """
+
+    __slots__ = ("filled_by_prefetch", "demand_touched", "fill_cycle")
+
+    def __init__(
+        self,
+        filled_by_prefetch: bool = False,
+        demand_touched: bool = False,
+        fill_cycle: int = 0,
+    ) -> None:
+        self.filled_by_prefetch = filled_by_prefetch
+        self.demand_touched = demand_touched
+        self.fill_cycle = fill_cycle
+
+    def __repr__(self) -> str:  # parity with the old dataclass repr
+        return (
+            f"LineMeta(filled_by_prefetch={self.filled_by_prefetch!r}, "
+            f"demand_touched={self.demand_touched!r}, "
+            f"fill_cycle={self.fill_cycle!r})"
+        )
 
 
-@dataclass
 class MshrEntry:
-    """An in-flight fill and the accesses waiting on it."""
+    """An in-flight fill and the accesses waiting on it.
 
-    line: int
-    is_prefetch: bool  # True while only prefetches want this line
-    waiters: List[Callable[[int], None]] = field(default_factory=list)
+    ``__slots__`` for the same reason as :class:`LineMeta` — one
+    allocation per miss, touched on every merge and fill.
+    """
+
+    __slots__ = ("line", "is_prefetch", "waiters")
+
+    def __init__(
+        self,
+        line: int,
+        is_prefetch: bool,  # True while only prefetches want this line
+        waiters: Optional[List[Callable[[int], None]]] = None,
+    ) -> None:
+        self.line = line
+        self.is_prefetch = is_prefetch
+        self.waiters = [] if waiters is None else waiters
 
 
 @dataclass
@@ -130,6 +161,20 @@ class Cache:
         if set_map is None:
             return None
         return set_map.get(line)
+
+    def classify(self, line: int):
+        """One-lookup residency classification: ``(set_map, meta, mshr)``.
+
+        The batched memory system uses this instead of :meth:`probe` so
+        a single tag walk serves both the effectiveness-tracker
+        classification and the (inlined) probe body.  Touches no stats,
+        LRU order, or MSHR state; at most one of ``meta`` / ``mshr`` is
+        non-None (resident lines never have an in-flight MSHR).
+        """
+        set_map = self._sets.get(line % self._n_sets)
+        meta = set_map.get(line) if set_map is not None else None
+        entry = self._mshrs.get(line) if meta is None else None
+        return set_map, meta, entry
 
     # -- operations -------------------------------------------------------
 

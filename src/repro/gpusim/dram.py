@@ -11,7 +11,9 @@ expose the load imbalance Section 6.4.1 fixes with the repack stride.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Sequence
+
+import numpy as np
 
 from ..core.config import DramConfig
 
@@ -81,3 +83,43 @@ class Dram:
                 },
             )
         return start + self.config.burst_cycles + self.config.latency
+
+    def service_many(
+        self, addresses: Sequence[int], cycle: int
+    ) -> List[int]:
+        """Accept a batch of same-cycle line requests; returns each
+        request's completion cycle, in input order.
+
+        The batched memory system calls this for all DRAM misses a
+        flush discovers at one request cycle: partition routing is one
+        vectorized pass over the address batch, while bus occupancy
+        within each partition still serializes in input order — the
+        per-request completion cycles are exactly what an in-order
+        sequence of :meth:`service` calls would return.  Tracing-off
+        path only (no per-request obs emits); the caller falls back to
+        :meth:`service` when a trace bus is attached.
+        """
+        config = self.config
+        partitions = (
+            np.asarray(addresses, dtype=np.int64) // config.partition_stride
+            % config.partitions
+        ).tolist()
+        burst = config.burst_cycles
+        tail = burst + config.latency
+        bus = self._bus_free
+        stats = self.stats
+        accesses = stats.per_partition_accesses
+        busy = stats.per_partition_busy
+        waited = 0
+        dones = []
+        for partition in partitions:
+            free = bus[partition]
+            start = free if free > cycle else cycle
+            bus[partition] = start + burst
+            accesses[partition] += 1
+            busy[partition] += burst
+            waited += start - cycle
+            dones.append(start + tail)
+        stats.accesses += len(partitions)
+        stats.total_wait_cycles += waited
+        return dones

@@ -50,17 +50,20 @@ class EventQueue:
     def drain(self, cycle: int) -> int:
         """Fire every remaining event in order; return the final cycle base.
 
-        This is the trailing drain both replay engines share after their
-        main loops exit: in-flight memory responses (fills, DRAM
-        completions) still land at their scheduled cycles, and the cycle
-        counter advances to the latest of them.  The returned value is
-        the base that denominates every per-cycle rate in ``SimStats``,
-        so callers must use it — not the loop-exit cycle — when
-        collecting statistics.
+        This is the single trailing pass both replay engines (and all
+        their units) share after their main loops exit: in-flight memory
+        responses (fills, DRAM completions) still land at their
+        scheduled cycles, and the cycle counter advances to the latest
+        of them.  One heap pop per event — no per-cycle ``run_due``
+        sub-loops — so a multi-unit drain never rescans the queue.  The
+        returned value is the base that denominates every per-cycle rate
+        in ``SimStats``, so callers must use it — not the loop-exit
+        cycle — when collecting statistics.
         """
-        while self._heap:
-            next_event = self._heap[0][0]
-            self.run_due(next_event)
-            if next_event > cycle:
-                cycle = next_event
+        heap = self._heap
+        while heap:
+            event_cycle, _, callback = heapq.heappop(heap)
+            callback(event_cycle)
+            if event_cycle > cycle:
+                cycle = event_cycle
         return cycle

@@ -180,6 +180,8 @@ class GpuModel:
         config = self.config
         events = self.events
         units = self.units
+        # The scalar oracle always runs the per-closure memory system.
+        self.memsys.set_batch_mode(False)
         start = getattr(self, "_current_cycle", 0)
         cycle = start
         while any(unit.busy() for unit in units):
@@ -271,6 +273,13 @@ class GpuModel:
 
         # Wake MSHR-sleeping units the moment a fill frees an entry.
         self.memsys.fill_listener = on_fill
+        # Agenda-batched memory system: per-cycle buckets replace
+        # per-line closures.  Only when tracing is off — the scalar
+        # closure path carries every obs emit, and an observed run must
+        # stay bit-identical to an unobserved one (both regimes are
+        # bit-identical to the oracle, so it does).  The batch flag
+        # stays on through the trailing ``events.drain`` in :meth:`run`.
+        self.memsys.set_batch_mode(self.memsys.obs is None, units)
         if not any(unit.busy() for unit in units):
             return cycle
         while True:
@@ -280,14 +289,40 @@ class GpuModel:
                     "likely a lost memory response"
                 )
             run_due(cycle)
-            for unit in units:
-                if unit._box_tests or unit._prim_tests or unit._hit_responses:
-                    unit.run_tests_due(cycle)
             if timeline is not None:
+                # Sampling must observe post-delivery state, so drain the
+                # per-unit FIFOs before the sample (the merged sweep
+                # below then finds them empty).
+                for unit in units:
+                    if (
+                        unit._box_tests
+                        or unit._prim_tests
+                        or unit._hit_responses
+                    ):
+                        unit.run_tests_due(cycle)
                 timeline.maybe_sample(cycle, units)
             stepped = False
             for i in indices:
                 unit = units[i]
+                # Deliver due test completions / hit responses just
+                # before this unit's step.  Deliveries touch only the
+                # unit's own rays and additive shared counters, and a
+                # step enqueues work strictly in the future (latencies
+                # are >= 1), so interleaving them per unit is
+                # bit-identical to the drain-all-then-step-all order.
+                # The heads are checked here (each FIFO is in due order)
+                # so non-due queues cost no call.
+                fifo = unit._hit_responses
+                if fifo and fifo[0][0] <= cycle:
+                    unit.run_tests_due(cycle)
+                else:
+                    fifo = unit._box_tests
+                    if fifo and fifo[0][0] <= cycle:
+                        unit.run_tests_due(cycle)
+                    else:
+                        fifo = unit._prim_tests
+                        if fifo and fifo[0][0] <= cycle:
+                            unit.run_tests_due(cycle)
                 wake = wakes[i]
                 if unit.dirty or (wake is not None and wake <= cycle):
                     unit.dirty = False
@@ -316,8 +351,7 @@ class GpuModel:
                                 )
                     unit.step_fast(cycle)
                     last_step[i] = cycle
-                    kinds[i] = unit.idle_kind()
-                    wakes[i] = unit.next_wake(cycle)
+                    wakes[i], kinds[i] = unit.next_wake_kind(cycle)
             # A unit only goes idle inside a step (retirement, degenerate
             # admits), so the completion check is needed only on buckets
             # that stepped someone.

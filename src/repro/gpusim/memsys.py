@@ -16,16 +16,28 @@ Two prefetch destinations are modeled (``GpuConfig.prefetch_destination``):
   probed on L1 misses; a buffer hit migrates the line into the L1
   (Jouppi-style, Section 2.3).  This trades pollution for an extra
   transfer step and is compared in ``bench_ablation_destination``.
+
+Two scheduling regimes drive the same state (:meth:`MemorySystem.
+set_batch_mode`): the scalar regime schedules one closure per
+transfer/fill on the event heap (the oracle, and the path every obs
+emit lives on), while the batched regime — used by the batched replay
+engine when tracing is off — groups outstanding work into per-cycle
+agenda buckets and classifies each bucket's L1/L2/stream-buffer
+transfers in a single flush pass.  Both are bit-identical; the golden
+suite in ``tests/test_replay_backend.py`` pins it.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
 
 from ..core.config import GpuConfig
 from ..prefetch.effectiveness import PrefetchEffectivenessTracker
-from .cache import AccessOutcome, Cache, LineMeta
+from .cache import AccessOutcome, Cache, LineMeta, MshrEntry
 from .dram import Dram
 from .event import EventQueue
 
@@ -35,6 +47,27 @@ ResponseCallback = Callable[[int], None]
 REGION_NODE = "node"
 REGION_PRIMITIVE = "primitive"
 REGION_MAPPING = "mapping"
+
+# Agenda record kinds for the batched memory system (see
+# ``MemorySystem.set_batch_mode``).  Records are plain tuples headed by
+# one of these tags; 0-2 are L2 transfers still carrying a byte address,
+# 3-5 are fills carrying a line id, 6 wraps an arbitrary callback.
+_TO_L2_DEMAND = 0  # (0, sm, address): demand miss heading to L2 -> L1
+_TO_L2_PREFETCH = 1  # (1, sm, address): prefetch heading to L2 -> L1
+_TO_L2_STREAM = 2  # (2, sm, address): prefetch heading to L2 -> stream buffer
+_FILL_L1 = 3  # (3, sm, line): line lands in the SM's L1
+_FILL_STREAM = 4  # (4, sm, line): line lands in the SM's stream buffer
+_FILL_L2 = 5  # (5, line): DRAM data lands in the L2
+_CALL = 6  # (6, callback): a response callback due this cycle
+
+#: Bucket sizes at or above which the flush switches to numpy for the
+#: address -> line arithmetic.  Typical buckets hold a handful of
+#: records (scalar ``//`` wins there, and even the pre-pass that counts
+#: transfer records costs more than it saves), so the cutover sits well
+#: above the common case.
+_BULK_LINES = 64
+#: Same-cycle DRAM miss count at which partition routing goes bulk.
+_BULK_DRAM = 8
 
 
 @dataclass
@@ -106,6 +139,30 @@ class MemorySystem:
         #: sleeping on full L1 MSHRs — fills are the only transition
         #: that frees an MSHR, so this hook makes that sleep exact.
         self.fill_listener: Optional[Callable[[int], None]] = None
+        #: Batched (agenda) mode — see :meth:`set_batch_mode`.
+        self.batch = False
+        self._agenda: Dict[int, list] = {}
+        self._wake_units: Optional[list] = None
+        #: Invariant locals for :meth:`_flush`, packed once so the (hot,
+        #: often tiny-bucket) flush unpacks a single attribute instead
+        #: of rebinding a dozen.  Every component is stable for this
+        #: object's lifetime (``Cache.flush`` clears ``_sets`` in place).
+        self._flush_env = (
+            self.l2,
+            self.l2.stats,
+            self.l2._sets,
+            self.l2._mshrs,
+            self.l2._line_bytes,
+            self.l2._n_sets,
+            self.l2._n_ways,
+            config.l2.latency,
+            self.l2_traffic,
+        )
+        self._l1_latency = config.l1.latency
+        #: The active L1 entry point, pre-bound so the hot callers
+        #: (``access`` and the RT unit's fused issue path) skip the
+        #: per-access regime dispatch in :meth:`_l1_access`.
+        self.l1_entry: Callable[..., AccessOutcome] = self._l1_access_scalar
         if self.uses_stream_buffers:
             self.stream_buffers = [
                 Cache(config.stream_buffer, name=f"SB[{sm}]")
@@ -142,7 +199,7 @@ class MemorySystem:
             responder = self._latency_recorder(
                 cycle, region, callback, sm, address
             )
-        return self._l1_access(sm, address, cycle, is_prefetch, responder)
+        return self.l1_entry(sm, address, cycle, is_prefetch, responder)
 
     def drain_complete(self) -> bool:
         """True when no fills are in flight anywhere."""
@@ -158,9 +215,221 @@ class MemorySystem:
             merged.merge(tracker.finalize())
         return merged
 
+    # -- batched (agenda) mode ----------------------------------------------
+
+    def set_batch_mode(self, enabled: bool, wake_units=None) -> None:
+        """Switch the memory system between its two scheduling regimes.
+
+        Scalar (default): every transfer/fill is a per-line closure on
+        the event heap — the oracle path, also used whenever a trace bus
+        is attached (it carries the obs emits).
+
+        Batched: outstanding work lives in per-cycle *agenda buckets*
+        (`cycle -> [record tuples]`) with a single flush event per
+        distinct cycle on the heap.  Within a bucket the flush
+        classifies every pending L1/L2/stream-buffer transfer in one
+        pass — bulk numpy address arithmetic for large buckets, L2 MSHR
+        waiters stored as ``(fill_kind, sm)`` tuples instead of
+        closures, and same-cycle DRAM misses routed to their partitions
+        in one :meth:`~repro.gpusim.dram.Dram.service_many` call.
+
+        Ordering is preserved *exactly*: every event the memory system
+        used to push on the heap is appended to its cycle's bucket at
+        the same call site, so append order equals the heap's FIFO
+        counter order and the two regimes stay bit-identical (the
+        golden suite pins this).  ``wake_units`` lets fills mark their
+        RT unit dirty directly instead of through ``fill_listener``.
+        """
+        self.batch = bool(enabled)
+        self._wake_units = list(wake_units) if (enabled and wake_units) else None
+        self.l1_entry = (
+            self._l1_access_batched if self.batch else self._l1_access_scalar
+        )
+
+    def _enqueue(self, cycle: int, record) -> None:
+        """Append ``record`` to the agenda bucket for ``cycle``,
+        materializing the bucket (and its single flush event) on first
+        use.  A bucket whose flush is currently running has already been
+        popped, so a same-cycle re-enqueue creates a fresh bucket whose
+        flush fires immediately after — identical to the heap's
+        drain-until-quiescent semantics."""
+        bucket = self._agenda.get(cycle)
+        if bucket is None:
+            self._agenda[cycle] = [record]
+            self.events.schedule(cycle, self._flush)
+        else:
+            bucket.append(record)
+
+    def _flush(self, at: int) -> None:
+        """Process every agenda record due at ``at`` in append order.
+
+        L2 transfers are classified inline against the L2 tag/MSHR
+        state (mirroring ``Cache.probe`` — the obs path is impossible
+        here, batch mode requires tracing disabled).  DRAM misses are
+        collected and serviced in bulk after the scan; their completion
+        cycles are strictly later than any same-bucket L2 hit fill
+        (``done >= request + burst + latency``), so deferring them
+        never reorders same-cycle events.
+        """
+        bucket = self._agenda.pop(at)
+        (
+            l2,
+            l2_stats,
+            l2_sets,
+            l2_mshrs,
+            l2_line_bytes,
+            l2_n_sets,
+            l2_n_ways,
+            l2_latency,
+            traffic,
+        ) = self._flush_env
+        enqueue = self._enqueue
+        fill_l1 = self._fill_l1_batched
+        fill_stream = self._fill_stream
+        # Every L2 hit in this flush lands in the same future bucket
+        # (``at + l2_latency``); resolve it once instead of per record.
+        # It is strictly in the future, so it can never be the bucket
+        # being flushed, and appends here interleave with concurrent
+        # ``_enqueue`` calls in exactly the order enqueueing one at a
+        # time would produce.
+        hit_cycle = at + l2_latency
+        hit_bucket: Optional[list] = None
+        misses: Optional[list] = None
+        bulk_lines = None
+        if len(bucket) >= _BULK_LINES:
+            addresses = [r[2] for r in bucket if r[0] <= 2]
+            if len(addresses) >= _BULK_LINES:
+                bulk_lines = iter(
+                    (
+                        np.asarray(addresses, dtype=np.int64) // l2_line_bytes
+                    ).tolist()
+                )
+        for record in bucket:
+            kind = record[0]
+            if kind <= _TO_L2_STREAM:
+                sm = record[1]
+                if bulk_lines is not None:
+                    line = next(bulk_lines)
+                else:
+                    line = record[2] // l2_line_bytes
+                if kind == _TO_L2_DEMAND:
+                    traffic.demand_accesses += 1
+                    l2_stats.demand_accesses += 1
+                    is_prefetch = False
+                else:
+                    traffic.prefetch_accesses += 1
+                    l2_stats.prefetch_accesses += 1
+                    is_prefetch = True
+                fill_kind = _FILL_STREAM if kind == _TO_L2_STREAM else _FILL_L1
+                set_map, meta, entry = l2.classify(line)
+                if meta is not None:
+                    # Resident: the ``Cache.probe`` hit body, inlined.
+                    set_map.move_to_end(line)
+                    if is_prefetch:
+                        l2_stats.prefetch_hits += 1
+                    else:
+                        l2_stats.demand_hits += 1
+                        if meta.filled_by_prefetch and not meta.demand_touched:
+                            l2_stats.demand_hits_on_prefetched += 1
+                        meta.demand_touched = True
+                    if hit_bucket is None:
+                        hit_bucket = self._agenda.get(hit_cycle)
+                        if hit_bucket is None:
+                            hit_bucket = self._agenda[hit_cycle] = []
+                            self.events.schedule(hit_cycle, self._flush)
+                    hit_bucket.append((fill_kind, sm, line))
+                elif entry is not None:
+                    # In flight: merge into the MSHR as a tuple waiter.
+                    if is_prefetch:
+                        l2_stats.prefetch_pending_hits += 1
+                    else:
+                        l2_stats.demand_pending_hits += 1
+                        if entry.is_prefetch:
+                            l2_stats.demand_pending_on_prefetch += 1
+                            entry.is_prefetch = False
+                    entry.waiters.append((fill_kind, sm))
+                else:
+                    # Miss: allocate the MSHR, defer the DRAM trip.
+                    if is_prefetch:
+                        l2_stats.prefetch_misses += 1
+                    else:
+                        l2_stats.demand_misses += 1
+                    entry = MshrEntry(line=line, is_prefetch=is_prefetch)
+                    entry.waiters.append((fill_kind, sm))
+                    l2_mshrs[line] = entry
+                    if misses is None:
+                        misses = [(record[2], line)]
+                    else:
+                        misses.append((record[2], line))
+            elif kind == _FILL_L1:
+                fill_l1(record[1], record[2], at)
+            elif kind == _FILL_STREAM:
+                fill_stream(record[1], record[2], at)
+            elif kind == _FILL_L2:
+                # DRAM data lands: ``Cache.fill`` inlined for the L2.
+                line = record[1]
+                entry = l2_mshrs.pop(line, None)
+                set_map = l2_sets.get(line % l2_n_sets)
+                if set_map is None:
+                    set_map = l2_sets[line % l2_n_sets] = OrderedDict()
+                if line not in set_map:
+                    if len(set_map) >= l2_n_ways:
+                        victim, victim_meta = set_map.popitem(last=False)
+                        l2_stats.evictions += 1
+                        if (
+                            victim_meta.filled_by_prefetch
+                            and not victim_meta.demand_touched
+                        ):
+                            l2_stats.prefetched_evicted_unused += 1
+                        if l2.eviction_listener is not None:
+                            l2.eviction_listener(victim, victim_meta)
+                    set_map[line] = LineMeta(
+                        filled_by_prefetch=(
+                            entry is not None and entry.is_prefetch
+                        ),
+                        fill_cycle=at,
+                    )
+                if entry is not None:
+                    for waiter in entry.waiters:
+                        if waiter.__class__ is tuple:
+                            if waiter[0] == _FILL_L1:
+                                fill_l1(waiter[1], line, at)
+                            else:
+                                fill_stream(waiter[1], line, at)
+                        else:
+                            # A closure parked before batch mode took over.
+                            waiter(at)
+            else:  # _CALL
+                record[1](at)
+        if misses is not None:
+            request_cycle = at + l2_latency
+            if len(misses) >= _BULK_DRAM:
+                dones = self.dram.service_many(
+                    [address for address, _ in misses], request_cycle
+                )
+            else:
+                service = self.dram.service
+                dones = [
+                    service(address, request_cycle) for address, _ in misses
+                ]
+            for (_, line), done in zip(misses, dones):
+                enqueue(done, (_FILL_L2, line))
+
     # -- L1 path --------------------------------------------------------------
 
     def _l1_access(
+        self,
+        sm: int,
+        address: int,
+        cycle: int,
+        is_prefetch: bool,
+        responder: Optional[ResponseCallback],
+    ) -> AccessOutcome:
+        """Regime-dispatching L1 entry; hot callers use the pre-bound
+        :attr:`l1_entry` instead."""
+        return self.l1_entry(sm, address, cycle, is_prefetch, responder)
+
+    def _l1_access_scalar(
         self,
         sm: int,
         address: int,
@@ -216,6 +485,88 @@ class MemorySystem:
         # PENDING_HIT: the waiter is parked on the MSHR; nothing to do.
         return outcome
 
+    def _l1_access_batched(
+        self,
+        sm: int,
+        address: int,
+        cycle: int,
+        is_prefetch: bool,
+        responder: Optional[ResponseCallback],
+    ) -> AccessOutcome:
+        """Agenda-mode L1 access: one tag lookup serves both the
+        effectiveness classification and the probe (whose stat/LRU/MSHR
+        bodies are inlined from ``Cache.probe`` — batch mode implies
+        tracing is disabled, so the obs emits cannot apply), and
+        downstream work lands in agenda buckets instead of per-line
+        heap closures.  Bit-identical to :meth:`_l1_access`."""
+        l1 = self.l1s[sm]
+        tracker = self.trackers[sm]
+        stats = l1.stats
+        line = address // l1._line_bytes
+        set_map = l1._sets.get(line % l1._n_sets)
+        meta = set_map.get(line) if set_map is not None else None
+        if meta is not None:
+            if is_prefetch:
+                tracker.on_prefetch_probe(line, AccessOutcome.HIT, meta, None)
+                stats.prefetch_accesses += 1
+                stats.prefetch_hits += 1
+            else:
+                tracker.on_demand_probe(line, AccessOutcome.HIT, meta, None)
+                stats.demand_accesses += 1
+                stats.demand_hits += 1
+                if meta.filled_by_prefetch and not meta.demand_touched:
+                    stats.demand_hits_on_prefetched += 1
+                meta.demand_touched = True
+            set_map.move_to_end(line)
+            if responder is not None:
+                self._enqueue(cycle + self._l1_latency, (_CALL, responder))
+            return AccessOutcome.HIT
+        entry = l1._mshrs.get(line)
+        if entry is not None:
+            owner = entry.is_prefetch
+            if is_prefetch:
+                tracker.on_prefetch_probe(
+                    line, AccessOutcome.PENDING_HIT, None, owner
+                )
+                stats.prefetch_accesses += 1
+                stats.prefetch_pending_hits += 1
+            else:
+                tracker.on_demand_probe(
+                    line, AccessOutcome.PENDING_HIT, None, owner
+                )
+                stats.demand_accesses += 1
+                stats.demand_pending_hits += 1
+                if owner:
+                    stats.demand_pending_on_prefetch += 1
+                    entry.is_prefetch = False  # a demand now owns the fill
+            if responder is not None:
+                entry.waiters.append(responder)
+            return AccessOutcome.PENDING_HIT
+        if is_prefetch:
+            tracker.on_prefetch_probe(line, AccessOutcome.MISS, None, None)
+            stats.prefetch_accesses += 1
+            stats.prefetch_misses += 1
+        else:
+            tracker.on_demand_probe(line, AccessOutcome.MISS, None, None)
+            stats.demand_accesses += 1
+            stats.demand_misses += 1
+        entry = MshrEntry(line=line, is_prefetch=is_prefetch)
+        if responder is not None:
+            entry.waiters.append(responder)
+        l1._mshrs[line] = entry
+        if not is_prefetch and self.uses_stream_buffers:
+            if self._demand_checks_stream(sm, address, line, cycle):
+                return AccessOutcome.MISS
+        self._enqueue(
+            cycle + self._l1_latency,
+            (
+                _TO_L2_PREFETCH if is_prefetch else _TO_L2_DEMAND,
+                sm,
+                address,
+            ),
+        )
+        return AccessOutcome.MISS
+
     # -- stream-buffer path -----------------------------------------------------
 
     def _prefetch_into_stream(
@@ -238,7 +589,11 @@ class MemorySystem:
                 line, AccessOutcome.HIT, _snapshot(l1_meta), None
             )
             if callback is not None:
-                self.events.schedule(cycle + self.config.l1.latency, callback)
+                due = cycle + self.config.l1.latency
+                if self.batch:
+                    self._enqueue(due, (_CALL, callback))
+                else:
+                    self.events.schedule(due, callback)
             return AccessOutcome.HIT
         l1_owner = l1.mshr_owner_is_prefetch(line)
         if l1_owner is not None:
@@ -256,16 +611,22 @@ class MemorySystem:
         tracker.on_prefetch_probe(line, outcome, prior_meta, prior_owner)
         if outcome is AccessOutcome.HIT:
             if callback is not None:
-                self.events.schedule(
-                    cycle + self.config.stream_buffer.latency, callback
-                )
+                due = cycle + self.config.stream_buffer.latency
+                if self.batch:
+                    self._enqueue(due, (_CALL, callback))
+                else:
+                    self.events.schedule(due, callback)
         elif outcome is AccessOutcome.MISS:
-            self.events.schedule(
-                cycle + self.config.stream_buffer.latency,
-                lambda at, a=address, s=sm: self._to_l2(
-                    s, a, True, at, target="stream"
-                ),
-            )
+            due = cycle + self.config.stream_buffer.latency
+            if self.batch:
+                self._enqueue(due, (_TO_L2_STREAM, sm, address))
+            else:
+                self.events.schedule(
+                    due,
+                    lambda at, a=address, s=sm: self._to_l2(
+                        s, a, True, at, target="stream"
+                    ),
+                )
         return outcome
 
     def _demand_checks_stream(
@@ -288,10 +649,14 @@ class MemorySystem:
             self.stream_buffer_hits += 1
             # One buffer-access latency for the transfer, then the line
             # lands in L1 and the parked waiters get their data.
-            self.events.schedule(
-                cycle + self.config.stream_buffer.latency,
-                lambda at, s=sm, ln=line: self._fill_l1(s, ln, at),
-            )
+            due = cycle + self.config.stream_buffer.latency
+            if self.batch:
+                self._enqueue(due, (_FILL_L1, sm, line))
+            else:
+                self.events.schedule(
+                    due,
+                    lambda at, s=sm, ln=line: self._fill_l1(s, ln, at),
+                )
             return True
         owner = buffer.mshr_owner_is_prefetch(line)
         if owner is not None:
@@ -345,7 +710,10 @@ class MemorySystem:
         was_prefetch = self.l1s[sm].mshr_owner_is_prefetch(line)
         waiters = self.l1s[sm].fill(line, cycle)
         tracker.on_fill(line, bool(was_prefetch))
-        if self.fill_listener is not None:
+        wake = self._wake_units
+        if wake is not None:
+            wake[sm].dirty = True
+        elif self.fill_listener is not None:
             self.fill_listener(sm)
         if was_prefetch and self.obs is not None:
             self.obs.emit(
@@ -357,13 +725,53 @@ class MemorySystem:
         for waiter in waiters:
             waiter(cycle)
 
+    def _fill_l1_batched(self, sm: int, line: int, cycle: int) -> None:
+        """Agenda-mode L1 fill: the ``Cache.fill`` body inlined around a
+        single MSHR pop (batch mode implies no obs emits, and the fused
+        pop serves both the prefetch-attribution lookup and the fill).
+        Bit-identical to :meth:`_fill_l1`."""
+        l1 = self.l1s[sm]
+        entry = l1._mshrs.pop(line, None)
+        filled_by_prefetch = entry is not None and entry.is_prefetch
+        set_index = line % l1._n_sets
+        set_map = l1._sets.get(set_index)
+        if set_map is None:
+            set_map = l1._sets[set_index] = OrderedDict()
+        if line not in set_map:
+            if len(set_map) >= l1._n_ways:
+                victim, victim_meta = set_map.popitem(last=False)
+                stats = l1.stats
+                stats.evictions += 1
+                if (
+                    victim_meta.filled_by_prefetch
+                    and not victim_meta.demand_touched
+                ):
+                    stats.prefetched_evicted_unused += 1
+                if l1.eviction_listener is not None:
+                    l1.eviction_listener(victim, victim_meta)
+            set_map[line] = LineMeta(
+                filled_by_prefetch=filled_by_prefetch, fill_cycle=cycle
+            )
+        self.trackers[sm].on_fill(line, filled_by_prefetch)
+        wake = self._wake_units
+        if wake is not None:
+            wake[sm].dirty = True
+        elif self.fill_listener is not None:
+            self.fill_listener(sm)
+        if entry is not None:
+            for waiter in entry.waiters:
+                waiter(cycle)
+
     def _fill_stream(self, sm: int, line: int, cycle: int) -> None:
         tracker = self.trackers[sm]
         buffer = self.stream_buffers[sm]
         was_prefetch = buffer.mshr_owner_is_prefetch(line)
         waiters = buffer.fill(line, cycle)
         tracker.on_fill(line, bool(was_prefetch))
-        if self.fill_listener is not None:
+        wake = self._wake_units
+        if wake is not None:
+            wake[sm].dirty = True
+        elif self.fill_listener is not None:
             self.fill_listener(sm)
         if was_prefetch and self.obs is not None:
             self.obs.emit(

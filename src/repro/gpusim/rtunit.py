@@ -93,6 +93,24 @@ class RTUnit:
             Tuple[int, bool, WarpSlot, List[RayTask], int]
         ] = deque()
         # Hot-loop constants, resolved once per unit.
+        self._baseline_sched = scheduler_policy == "baseline"
+        self._adaptive_feedback = (
+            getattr(self.prefetcher, "adaptive", None) is not None
+        )
+        #: exactly the no-op base prefetcher: the batched step skips its
+        #: (empty) hooks wholesale.  Exact-type test so every subclass
+        #: keeps full behavior.
+        self._null_prefetcher = type(self.prefetcher) is Prefetcher
+        #: bound ``on_demand_issue`` when overridden, else None — the
+        #: fused issue path calls through this to skip the base class's
+        #: empty observer (the treelet prefetcher does not observe
+        #: demand issues either).
+        self._demand_hook = (
+            None
+            if type(self.prefetcher).on_demand_issue
+            is Prefetcher.on_demand_issue
+            else self.prefetcher.on_demand_issue
+        )
         self._warp_buffer_size = config.warp_buffer_size
         self._mem_ports = config.mem_ports
         self._line_bytes = config.l1.line_bytes
@@ -179,6 +197,47 @@ class RTUnit:
             if warp.ready_count:
                 return 2
         return 1 if self.buffer else 0
+
+    def next_wake_kind(self, cycle: int):
+        """:meth:`next_wake` and :meth:`idle_kind` fused into one buffer
+        scan — the batched engine calls both after every step, so the
+        pair dominates the loop's bookkeeping.  Returns
+        ``(wake, kind)``; semantics are verbatim from the two methods."""
+        buffer = self.buffer
+        ready = False
+        for warp in buffer:
+            if warp.ready_count:
+                ready = True
+                break
+        wake: Optional[int] = None
+        if self.pending_warps and len(buffer) < self._warp_buffer_size:
+            wake = cycle + 1  # an admit can happen next cycle
+        else:
+            l1 = self._l1
+            if ready and len(l1._mshrs) < l1._mshr_capacity:
+                wake = cycle + 1
+            if wake is None and not self._null_prefetcher:
+                # Base prefetcher: queue_depth() is 0, so its
+                # next_activity_cycle is always None — skip the call.
+                wake = self.prefetcher.next_activity_cycle(
+                    cycle, self.vote_version
+                )
+        tests = self._box_tests
+        if tests:
+            due = tests[0][0]
+            if wake is None or due < wake:
+                wake = due
+        tests = self._prim_tests
+        if tests:
+            due = tests[0][0]
+            if wake is None or due < wake:
+                wake = due
+        responses = self._hit_responses
+        if responses:
+            due = responses[0][0]
+            if wake is None or due < wake:
+                wake = due
+        return wake, (2 if ready else (1 if buffer else 0))
 
     # -- per-cycle step -----------------------------------------------------
 
@@ -299,11 +358,19 @@ class RTUnit:
                         args=slot.trace_args(),
                     )
         issued = 0
-        warp = select_warp(
-            self.scheduler_policy,
-            buffer,
-            prefetcher.last_prefetched_treelet,
-        )
+        if self._baseline_sched or prefetcher.last_prefetched_treelet is None:
+            # ``select_warp``'s baseline arm, inlined: oldest ready warp.
+            warp = None
+            for candidate in buffer:
+                if candidate.ready_count > 0:
+                    warp = candidate
+                    break
+        else:
+            warp = select_warp(
+                self.scheduler_policy,
+                buffer,
+                prefetcher.last_prefetched_treelet,
+            )
         if warp is not None and not self._l1.mshr_full():
             issued = self._issue_demand_fast(warp, cycle)
             if issued:
@@ -321,6 +388,10 @@ class RTUnit:
                 self.obs.emit(
                     "rtunit.stall", cycle, f"RT{self.sm_id}", dur=1
                 )
+        if self._null_prefetcher:
+            # Exactly the base prefetcher: pop_prefetch always returns
+            # None and on_feedback/on_cycle are empty — skip them all.
+            return
         if issued < self._mem_ports:
             request = prefetcher.pop_prefetch(cycle)
             if request is not None:
@@ -348,7 +419,8 @@ class RTUnit:
                     region=request.region,
                     callback=callback,
                 )
-        prefetcher.on_feedback(cycle, self._tracker.counts)
+        if self._adaptive_feedback:
+            prefetcher.on_feedback(cycle, self._tracker.counts)
         prefetcher.on_cycle(cycle, buffer, self.vote_version)
 
     # -- demand path --------------------------------------------------------
@@ -452,6 +524,7 @@ class RTUnit:
         prim_groups: Dict[int, Tuple[int, List[RayTask]]] = {}
         claimed = 0
         claimed_mask = 0
+        claimed_rays = 0
 
         while mask:
             low = mask & -mask
@@ -490,6 +563,7 @@ class RTUnit:
             # The claim succeeded: the ray leaves the ready set.  This is
             # ``warp.note_unready`` inlined (mask bits are batched below).
             claimed_mask |= low
+            claimed_rays += 1
             ray.state = wait_node if ray.state is fetch_ready else wait_prim
             treelet = ray.treelets[ray.cursor]
             count = ready_treelets[treelet] - 1
@@ -499,7 +573,7 @@ class RTUnit:
                 ready_treelets[treelet] = count
         if claimed_mask:
             warp.ready_mask &= ~claimed_mask
-            warp.ready_count -= bin(claimed_mask).count("1")
+            warp.ready_count -= claimed_rays
 
         stats = self.stats
         prefetcher = self.prefetcher
@@ -509,6 +583,8 @@ class RTUnit:
         l1 = self._l1
         if l1.obs is None and memsys.obs is None:
             # Fused memory path (tracing disabled — the common case).
+            l1_entry = memsys.l1_entry
+            demand_hook = self._demand_hook
             tracker = self._tracker
             lstats = l1.stats
             sets = l1._sets
@@ -518,7 +594,8 @@ class RTUnit:
             hit = AccessOutcome.HIT
             for address, rays in node_groups.values():
                 stats.node_fetches_issued += 1
-                prefetcher.on_demand_issue(warp_id, address, cycle)
+                if demand_hook is not None:
+                    demand_hook(warp_id, address, cycle)
                 line = address // line_bytes
                 set_map = sets.get(line % n_sets)
                 meta = set_map.get(line) if set_map is not None else None
@@ -534,7 +611,7 @@ class RTUnit:
                     set_map.move_to_end(line)
                     responses.append((due, True, warp, rays, cycle))
                 else:
-                    memsys._l1_access(
+                    l1_entry(
                         sm_id,
                         address,
                         cycle,
@@ -543,7 +620,8 @@ class RTUnit:
                     )
             for address, rays in prim_groups.values():
                 stats.primitive_fetches_issued += 1
-                prefetcher.on_demand_issue(warp_id, address, cycle)
+                if demand_hook is not None:
+                    demand_hook(warp_id, address, cycle)
                 line = address // line_bytes
                 set_map = sets.get(line % n_sets)
                 meta = set_map.get(line) if set_map is not None else None
@@ -557,7 +635,7 @@ class RTUnit:
                     set_map.move_to_end(line)
                     responses.append((due, False, warp, rays, cycle))
                 else:
-                    memsys._l1_access(
+                    l1_entry(
                         sm_id,
                         address,
                         cycle,
@@ -761,14 +839,36 @@ class RTUnit:
                         ):
                             ray.state = RayState.TESTING
                             prim_tests.append((due + prim_latency, warp, ray))
-        tests = self._box_tests
-        while tests and tests[0][0] <= cycle:
-            due, warp, ray = tests.popleft()
-            self._test_done(warp, ray, due)
-        tests = self._prim_tests
-        while tests and tests[0][0] <= cycle:
-            due, warp, ray = tests.popleft()
-            self._test_done(warp, ray, due)
+        # Drain due test completions with :meth:`_test_done`'s body
+        # inlined (it fires once per completed visit, so the call
+        # overhead is the engine's single largest fixed cost); the
+        # scalar path keeps calling the method via its heap closures.
+        stats = self.stats
+        fetch_ready = RayState.FETCH_READY
+        done_state = RayState.DONE
+        for tests in (self._box_tests, self._prim_tests):
+            while tests and tests[0][0] <= cycle:
+                due, warp, ray = tests.popleft()
+                self.dirty = True
+                cursor = ray.cursor
+                old_vote = ray.lookahead[cursor]
+                stats.visits_completed += 1
+                cursor += 1
+                ray.cursor = cursor
+                if cursor >= len(ray.trace.visits):
+                    ray.state = done_state
+                    warp.note_ray_done(old_vote)
+                    if old_vote != -1:
+                        self.vote_version += 1
+                    if warp.done_count >= len(warp.rays):
+                        self._retire(warp, due)
+                else:
+                    ray.state = fetch_ready
+                    new_vote = ray.lookahead[cursor]
+                    if new_vote != old_vote:
+                        warp.note_vote_change(old_vote, new_vote)
+                        self.vote_version += 1
+                    warp.note_ready(ray)
 
     def next_test_cycle(self) -> Optional[int]:
         """Due cycle of the earliest queued test completion, if any."""

@@ -13,7 +13,6 @@ occupancy counters the majority voter and the treelet schedulers read.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional
 
@@ -30,7 +29,6 @@ class RayState(Enum):
     DONE = "done"
 
 
-@dataclass
 class RayTask:
     """One ray's traversal replay state.
 
@@ -40,44 +38,73 @@ class RayTask:
     that precompute whole batches (``GpuModel.load`` gathers them with
     one vectorized table lookup per trace) pass ``addresses`` and
     ``treelets`` in; otherwise they are derived here per ray.
+
+    A ``__slots__`` class (not a dataclass): both replay engines read
+    ``state``/``cursor``/the SoA lists on every issue, response, and
+    test completion, so the slot layout is a measurable win.
     """
 
-    trace: RayTrace
-    bvh: FlatBVH
-    layout: NodeLayout
-    line_bytes: int
-    cursor: int = 0
-    state: RayState = RayState.FETCH_READY
-    prim_lines_pending: List[int] = field(default_factory=list)
-    prim_lines_outstanding: int = 0
-    #: position within the owning warp (set by WarpSlot); the batched
-    #: issue path uses it to keep the warp's ready-ray bitmask current.
-    slot_index: int = 0
-    #: byte address of each visit's node (SoA, parallel to trace.visits).
-    addresses: Optional[List[int]] = None
-    #: treelet id of each visit's node (SoA, -1 = no treelet).
-    treelets: Optional[List[int]] = None
-    #: per visit, the next *different* treelet the ray will enter (-1 if
-    #: none).  Hardware knows this from the top of the ray's
-    #: otherTreeletStack; the trace model recovers it by scanning the
-    #: visit sequence.  The majority voter votes on this lookahead so
-    #: prefetches lead demand by one treelet transit.
-    lookahead: Optional[List[int]] = None
+    __slots__ = (
+        "trace",
+        "bvh",
+        "layout",
+        "line_bytes",
+        "cursor",
+        "state",
+        "prim_lines_pending",
+        "prim_lines_outstanding",
+        "slot_index",
+        "addresses",
+        "treelets",
+        "lookahead",
+    )
 
-    def __post_init__(self) -> None:
-        if not self.trace.visits:
+    def __init__(
+        self,
+        trace: RayTrace,
+        bvh: FlatBVH,
+        layout: NodeLayout,
+        line_bytes: int,
+        cursor: int = 0,
+        state: RayState = RayState.FETCH_READY,
+        prim_lines_pending: Optional[List[int]] = None,
+        prim_lines_outstanding: int = 0,
+        slot_index: int = 0,
+        addresses: Optional[List[int]] = None,
+        treelets: Optional[List[int]] = None,
+        lookahead: Optional[List[int]] = None,
+    ) -> None:
+        self.trace = trace
+        self.bvh = bvh
+        self.layout = layout
+        self.line_bytes = line_bytes
+        self.cursor = cursor
+        self.state = state
+        #: distinct lines still to issue for the current leaf's triangles.
+        self.prim_lines_pending = (
+            [] if prim_lines_pending is None else prim_lines_pending
+        )
+        self.prim_lines_outstanding = prim_lines_outstanding
+        #: position within the owning warp (set by WarpSlot); the batched
+        #: issue path uses it to keep the warp's ready-ray bitmask current.
+        self.slot_index = slot_index
+        if not trace.visits:
             self.state = RayState.DONE
-        layout = self.layout
-        if self.addresses is None:
-            self.addresses = [
-                layout.address_of(v.node_id) for v in self.trace.visits
-            ]
-        if self.treelets is None:
-            self.treelets = [
-                layout.treelet_of(v.node_id) for v in self.trace.visits
-            ]
-        if self.lookahead is None:
-            treelets = self.treelets
+        #: byte address of each visit's node (SoA, parallel to
+        #: trace.visits).
+        if addresses is None:
+            addresses = [layout.address_of(v.node_id) for v in trace.visits]
+        self.addresses = addresses
+        #: treelet id of each visit's node (SoA, -1 = no treelet).
+        if treelets is None:
+            treelets = [layout.treelet_of(v.node_id) for v in trace.visits]
+        self.treelets = treelets
+        #: per visit, the next *different* treelet the ray will enter (-1
+        #: if none).  Hardware knows this from the top of the ray's
+        #: otherTreeletStack; the trace model recovers it by scanning the
+        #: visit sequence.  The majority voter votes on this lookahead so
+        #: prefetches lead demand by one treelet transit.
+        if lookahead is None:
             n = len(treelets)
             lookahead = [-1] * n
             for index in range(n - 2, -1, -1):
@@ -85,7 +112,7 @@ class RayTask:
                     lookahead[index] = treelets[index + 1]
                 else:
                     lookahead[index] = lookahead[index + 1]
-            self.lookahead = lookahead
+        self.lookahead = lookahead
 
     @property
     def done(self) -> bool:
@@ -218,7 +245,10 @@ class WarpSlot:
     def note_ready(self, ray: RayTask) -> None:
         self.ready_count += 1
         self.ready_mask |= 1 << ray.slot_index
-        self.ready_treelet_counts[ray.current_treelet()] += 1
+        # ``ray.current_treelet()`` inlined: callers transition the ray
+        # to FETCH_READY / PRIM_READY immediately before this, so the
+        # done branch is unreachable and the cursor is in range.
+        self.ready_treelet_counts[ray.treelets[ray.cursor]] += 1
 
     def note_unready(self, ray: RayTask, treelet: int) -> None:
         self.ready_count -= 1

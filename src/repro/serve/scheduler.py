@@ -339,9 +339,12 @@ class MicroBatchScheduler:
 
     def _prewarm_pool(self, batch: List[JobRecord]) -> None:
         """Fan the batch's simulation replays across the repro.exec
-        process pool and seed the in-process result memoizer."""
-        from ..core import pipeline
-        from ..exec.executor import execute_jobs
+        process pool and seed the in-process result memoizer.
+
+        :func:`~repro.exec.executor.prewarm_replay_jobs` re-checks the
+        trace memoizer (a no-op after :meth:`_prewarm`) and does the
+        pool fan-out plus result seeding in one call."""
+        from ..exec.executor import prewarm_replay_jobs
 
         exec_jobs = []
         for job in batch:
@@ -351,7 +354,7 @@ class MicroBatchScheduler:
         if len(exec_jobs) < 2:
             return
         try:
-            results = execute_jobs(
+            prewarm_replay_jobs(
                 exec_jobs,
                 workers=self.workers,
                 job_timeout=self.job_timeout,
@@ -359,8 +362,6 @@ class MicroBatchScheduler:
             )
         except Exception:  # noqa: BLE001
             return  # fall back to in-process evaluation per job
-        for exec_job, result in zip(exec_jobs, results):
-            pipeline._RESULT_CACHE.setdefault(exec_job.key(), result)
 
     # ------------------------------------------------------------------
     # Finalization (event-loop thread).

@@ -66,3 +66,67 @@ class TestEventQueue:
         for cycle in (1, 2, 3):
             events.schedule(cycle, lambda c: None)
         assert events.run_due(2) == 2
+
+
+class TestDrain:
+    def test_drain_fires_everything_in_order(self):
+        events = EventQueue()
+        fired = []
+        for cycle in (9, 3, 7, 3):
+            events.schedule(cycle, fired.append)
+        assert events.drain(0) == 9
+        assert fired == [3, 3, 7, 9]
+        assert len(events) == 0
+
+    def test_drain_keeps_base_when_events_are_earlier(self):
+        """The returned base never moves backwards: events landing
+        before the loop-exit cycle fire but don't shrink it."""
+        events = EventQueue()
+        events.schedule(4, lambda c: None)
+        assert events.drain(10) == 10
+
+    def test_drain_handles_cascading_events(self):
+        events = EventQueue()
+        fired = []
+
+        def first(cycle):
+            fired.append("first")
+            events.schedule(cycle + 5, lambda c: fired.append("second"))
+
+        events.schedule(2, first)
+        assert events.drain(0) == 7
+        assert fired == ["first", "second"]
+
+    def test_drain_empty_returns_input_cycle(self):
+        assert EventQueue().drain(42) == 42
+
+
+class TestDrainCycleBase:
+    def test_per_cycle_rates_pin_post_drain_denominator(self):
+        """Regression pin for the single-pass drain: ``SimStats.cycles``
+        is the post-drain base, so every rate in ``per_cycle_rates``
+        shares it.  Simulated on a real scene so the trailing drain has
+        in-flight memory responses to account for."""
+        from repro.api import run
+        from repro.core import SMOKE
+
+        stats = run("WKND", "treelet-prefetch", SMOKE).stats
+        rates = stats.per_cycle_rates()
+        cycles = stats.cycles
+        assert cycles > 0
+        assert rates["ipc"] == stats.visits_completed / cycles
+        assert rates["l2_bandwidth"] == stats.l2_bytes / cycles
+        nonidle = (
+            stats.busy_cycles + stats.stall_cycles + stats.mshr_stall_cycles
+        )
+        assert rates["stall_fraction"] == stats.stall_cycles / nonidle
+        assert (
+            rates["mshr_stall_fraction"] == stats.mshr_stall_cycles / nonidle
+        )
+        assert set(rates) == {
+            "ipc",
+            "l2_bandwidth",
+            "dram_utilization",
+            "stall_fraction",
+            "mshr_stall_fraction",
+        }
